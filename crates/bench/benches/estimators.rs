@@ -1,0 +1,96 @@
+//! Criterion benches for the estimation tools: cost of one estimate per
+//! technique on the canonical 50/25 Mb/s Poisson link. These quantify
+//! the latency/overhead side of Fallacy 3's trade-off.
+
+use abw_core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abw_core::tools::direct::{DirectConfig, DirectProber};
+use abw_core::tools::igi::{Igi, IgiConfig};
+use abw_core::tools::pathchirp::{Pathchirp, PathchirpConfig};
+use abw_core::tools::pathload::{Pathload, PathloadConfig};
+use abw_core::tools::spruce::{Spruce, SpruceConfig};
+use abw_core::tools::topp::{Topp, ToppConfig};
+use abw_netsim::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::Poisson,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(300));
+    s
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimators");
+    g.sample_size(10);
+
+    g.bench_function("direct_10x100ms", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let mut r = s.runner();
+            let est = DirectProber::new(DirectConfig {
+                streams: 10,
+                ..DirectConfig::canonical()
+            })
+            .run(&mut s.sim, &mut r);
+            black_box(est.avail_bps)
+        })
+    });
+
+    g.bench_function("spruce_100_pairs", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let mut r = s.runner();
+            let est = Spruce::new(SpruceConfig::new(50e6)).run(&mut s.sim, &mut r);
+            black_box(est.avail_bps)
+        })
+    });
+
+    g.bench_function("topp_sweep", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let mut r = s.runner();
+            r.stream_gap = SimDuration::from_millis(5);
+            let rep = Topp::new(ToppConfig {
+                streams_per_rate: 3,
+                step_bps: 3e6,
+                ..ToppConfig::default()
+            })
+            .run(&mut s.sim, &mut r);
+            black_box(rep.avail_bps)
+        })
+    });
+
+    g.bench_function("pathload_quick", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let rep = Pathload::new(PathloadConfig::quick()).run(&mut s);
+            black_box(rep.range_bps)
+        })
+    });
+
+    g.bench_function("pathchirp_30_chirps", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let mut r = s.runner();
+            let est = Pathchirp::new(PathchirpConfig::default()).run(&mut s.sim, &mut r);
+            black_box(est.avail_bps)
+        })
+    });
+
+    g.bench_function("igi_ptr", |b| {
+        b.iter(|| {
+            let mut s = scenario();
+            let mut r = s.runner();
+            let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+            black_box((rep.igi_bps, rep.ptr_bps))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

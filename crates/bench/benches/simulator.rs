@@ -1,0 +1,70 @@
+//! Criterion benches for the discrete-event simulator core: event
+//! throughput under cross-traffic load and multi-hop forwarding.
+
+use abw_netsim::{CountingSink, FlowId, LinkConfig, SimDuration, SimTime, Simulator};
+use abw_traffic::{PoissonProcess, SizeDist, SourceAgent};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// One simulated second of a single 50 Mb/s link at 50% Poisson load.
+fn single_hop_second() -> u64 {
+    let mut sim = Simulator::new();
+    let link = sim.add_link(LinkConfig::new(50e6, SimDuration::from_millis(1)));
+    let path = sim.add_path(vec![link]);
+    let sink = sim.add_agent(Box::new(CountingSink::new()));
+    sim.add_agent(Box::new(SourceAgent::new(
+        Box::new(PoissonProcess::new(25e6, SizeDist::Constant(1500), 7)),
+        path,
+        sink,
+        FlowId(1),
+    )));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    sim.counters().delivered
+}
+
+/// One simulated second across a 5-hop path with per-hop cross traffic.
+fn five_hop_second() -> u64 {
+    let mut sim = Simulator::new();
+    let links: Vec<_> = (0..5)
+        .map(|_| sim.add_link(LinkConfig::new(50e6, SimDuration::from_millis(1))))
+        .collect();
+    let through = sim.add_path(links.clone());
+    let sink = sim.add_agent(Box::new(CountingSink::new()));
+    for (i, &l) in links.iter().enumerate() {
+        let p = sim.add_path(vec![l]);
+        let s = sim.add_agent(Box::new(CountingSink::new()));
+        sim.add_agent(Box::new(SourceAgent::new(
+            Box::new(PoissonProcess::new(
+                25e6,
+                SizeDist::Constant(1500),
+                10 + i as u64,
+            )),
+            p,
+            s,
+            FlowId(i as u32),
+        )));
+    }
+    sim.add_agent(Box::new(SourceAgent::new(
+        Box::new(PoissonProcess::new(5e6, SizeDist::Constant(1500), 99)),
+        through,
+        sink,
+        FlowId(100),
+    )));
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(1));
+    sim.counters().delivered
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("single_hop_1s_poisson_50pct", |b| {
+        b.iter(|| black_box(single_hop_second()))
+    });
+    g.bench_function("five_hop_1s_poisson_50pct_per_hop", |b| {
+        b.iter(|| black_box(five_hop_second()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

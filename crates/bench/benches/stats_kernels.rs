@@ -1,0 +1,49 @@
+//! Criterion benches for the statistics kernels on measurement-sized
+//! inputs: OWD trend tests (per-stream hot path of Pathload), ECDF
+//! construction, and Hurst estimation.
+
+use abw_stats::ecdf::Ecdf;
+use abw_stats::hurst::variance_time_hurst;
+use abw_stats::trend::TrendAnalyzer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn owd_series(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 0.02 + 1e-5 * i as f64 + ((i as u64 * 2654435761) % 97) as f64 * 1e-6)
+        .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+
+    let owds = owd_series(100);
+    let analyzer = TrendAnalyzer::default();
+    g.bench_function("trend_classify_100_owds", |b| {
+        b.iter(|| black_box(analyzer.classify(black_box(&owds))))
+    });
+
+    let samples: Vec<f64> = (0..10_000)
+        .map(|i| ((i as u64 * 2654435761) % 100_000) as f64)
+        .collect();
+    g.bench_function("ecdf_build_10k", |b| {
+        b.iter(|| black_box(Ecdf::new(samples.clone()).len()))
+    });
+
+    let ecdf = Ecdf::new(samples.clone());
+    g.bench_function("ecdf_query", |b| {
+        b.iter(|| black_box(ecdf.cdf(black_box(50_000.0))))
+    });
+
+    let series: Vec<f64> = (0..(1 << 14))
+        .map(|i| ((i as u64 * 0x9E3779B97F4A7C15) >> 40) as f64)
+        .collect();
+    g.bench_function("hurst_variance_time_16k", |b| {
+        b.iter(|| black_box(variance_time_hurst(&series, &[1, 2, 4, 8, 16, 32, 64])))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

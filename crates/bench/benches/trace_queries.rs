@@ -1,0 +1,52 @@
+//! Criterion benches for the avail-bw trace substrate: building the
+//! process index and querying `A_tau(t)` at several timescales.
+
+use abw_trace::{AvailBw, SyntheticTrace, SyntheticTraceConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn quick_trace() -> SyntheticTrace {
+    SyntheticTrace::generate(&SyntheticTraceConfig {
+        duration: abw_netsim::SimDuration::from_secs(10),
+        warmup: abw_netsim::SimDuration::from_secs(1),
+        ..SyntheticTraceConfig::default()
+    })
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let trace = quick_trace();
+    let process: &AvailBw = &trace.process;
+    let (h0, h1) = process.horizon();
+
+    let mut g = c.benchmark_group("trace");
+
+    g.bench_function("avail_query_10ms", |b| {
+        let mut t = h0;
+        b.iter(|| {
+            let a = process.avail_at(t, 10_000_000);
+            t += 1_000_000;
+            if t + 10_000_000 > h1 {
+                t = h0;
+            }
+            black_box(a)
+        })
+    });
+
+    g.bench_function("population_1ms_full_horizon", |b| {
+        b.iter(|| black_box(process.population(1_000_000).variance()))
+    });
+
+    g.bench_function("sample_path_10ms", |b| {
+        b.iter(|| black_box(process.sample_path(10_000_000, 10_000_000).len()))
+    });
+
+    g.sample_size(10);
+    g.bench_function("generate_10s_trace", |b| {
+        b.iter(|| black_box(quick_trace().packets))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Runs every figure/table experiment in sequence (quick mode by
+//! default; pass `--full` for the paper-scale parameters).
+//!
+//! Usage: `all [--full]`
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let bins = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "exp_faster",
+        "exp_capacity", "exp_trend", "exp_trains", "shootout",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in bins {
+        println!("==============================================================");
+        println!("== {bin}");
+        println!("==============================================================");
+        let mut cmd = Command::new(dir.join(bin));
+        if !full {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            panic!("failed to launch {bin}: {e} (build the workspace first)")
+        });
+        assert!(status.success(), "{bin} exited with {status}");
+        println!();
+    }
+}

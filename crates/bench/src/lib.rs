@@ -1,0 +1,138 @@
+//! # abw-bench
+//!
+//! The experiment harness: one binary per figure/table of the paper
+//! (`fig1` … `fig7`, `table1`, `exp_faster`, `exp_capacity`, and the
+//! `all` runner), plus Criterion benches for the simulator and the
+//! estimation kernels.
+//!
+//! Binaries print the same rows/series the paper reports, as aligned
+//! text tables; pass `--csv` to any binary to get comma-separated output
+//! instead (for plotting).
+
+use std::fmt::Write as _;
+
+/// Output format selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable aligned columns.
+    Text,
+    /// Comma-separated values.
+    Csv,
+}
+
+/// Parses the standard binary arguments (`--csv`).
+pub fn format_from_args() -> Format {
+    if std::env::args().any(|a| a == "--csv") {
+        Format::Csv
+    } else {
+        Format::Text
+    }
+}
+
+/// A simple column-aligned table printer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders in the requested format.
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Csv => {
+                let mut out = String::new();
+                let _ = writeln!(out, "{}", self.header.join(","));
+                for r in &self.rows {
+                    let _ = writeln!(out, "{}", r.join(","));
+                }
+                out
+            }
+            Format::Text => {
+                let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+                for r in &self.rows {
+                    for (w, c) in widths.iter_mut().zip(r) {
+                        *w = (*w).max(c.len());
+                    }
+                }
+                let mut out = String::new();
+                let fmt_row = |cells: &[String], widths: &[usize]| {
+                    cells
+                        .iter()
+                        .zip(widths)
+                        .map(|(c, w)| format!("{c:>w$}"))
+                        .collect::<Vec<_>>()
+                        .join("  ")
+                };
+                let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    widths
+                        .iter()
+                        .map(|w| "-".repeat(*w))
+                        .collect::<Vec<_>>()
+                        .join("  ")
+                );
+                for r in &self.rows {
+                    let _ = writeln!(out, "{}", fmt_row(r, &widths));
+                }
+                out
+            }
+        }
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self, format: Format) {
+        print!("{}", self.render(format));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_render_aligns() {
+        let mut t = Table::new(vec!["a", "long_column"]);
+        t.row(vec!["1", "2"]);
+        let s = t.render(Format::Text);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long_column"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn csv_render() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.render(Format::Csv), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["x"]);
+        t.row(vec!["1", "2"]);
+    }
+}

@@ -1,0 +1,20 @@
+//! One module per fallacy/pitfall — the code behind every figure and
+//! table in the paper's §3 (see DESIGN.md §5 for the index).
+//!
+//! Each experiment is a pure function of its configuration (including
+//! seeds) returning a typed result table; the `abw-bench` binaries print
+//! them, and the integration tests assert their shapes.
+
+pub mod burstiness;
+pub mod latency_accuracy;
+pub mod multi_bottleneck;
+pub mod owd_vs_rate;
+pub mod pairs_vs_trains;
+pub mod shootout;
+pub mod tcp_throughput;
+pub mod tight_vs_narrow;
+pub mod timescale_knob;
+pub mod train_length;
+pub mod trend_thresholds;
+pub mod variability;
+pub mod variation_range;

@@ -1,0 +1,233 @@
+//! Fallacy 8 / **Figure 5**: increasing one-way delays are equivalent to
+//! `Ro < Ri`.
+//!
+//! Only under the fluid model. With real cross traffic the OWD time
+//! series carries far more information than the single number `Ro/Ri`: a
+//! single cross-traffic burst near the end of a stream can push `Ro`
+//! below `Ri` even though `Ri < A`, while trend analysis of the same
+//! OWDs correctly reports *no trend*. The experiment reproduces
+//! Figure 5's two 160-packet streams and quantifies, over many streams,
+//! how often each inference rule gets the `Ri ≷ A` question wrong.
+
+use abw_netsim::SimDuration;
+use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
+
+use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+use crate::stream::StreamSpec;
+
+/// Configuration of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct OwdVsRateConfig {
+    /// Rate above the avail-bw (paper: 27 Mb/s).
+    pub rate_above_bps: f64,
+    /// Rate below the avail-bw (paper: 19 Mb/s).
+    pub rate_below_bps: f64,
+    /// Packets per stream (paper: 160).
+    pub packets_per_stream: u32,
+    /// Streams per rate for the error-rate statistics.
+    pub streams: u32,
+    /// `Ro/Ri` below `1 - tolerance` counts as "rate test says above".
+    pub rate_tolerance: f64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for OwdVsRateConfig {
+    fn default() -> Self {
+        OwdVsRateConfig {
+            rate_above_bps: 27e6,
+            rate_below_bps: 19e6,
+            packets_per_stream: 160,
+            streams: 200,
+            rate_tolerance: 0.02,
+            seed: 0xF165,
+        }
+    }
+}
+
+impl OwdVsRateConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        OwdVsRateConfig {
+            streams: 60,
+            ..OwdVsRateConfig::default()
+        }
+    }
+}
+
+/// One stream selected for plotting (a Figure 5 time series).
+#[derive(Debug, Clone)]
+pub struct OwdSeries {
+    /// Input rate, Mb/s.
+    pub ri_mbps: f64,
+    /// Output rate, Mb/s.
+    pub ro_mbps: f64,
+    /// Relative OWDs (seconds, min-shifted), per packet.
+    pub owds: Vec<f64>,
+    /// What the trend test said.
+    pub trend: TrendVerdict,
+}
+
+/// Inference error rates of the two rules over many streams at one rate.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceStats {
+    /// Input rate, Mb/s.
+    pub ri_mbps: f64,
+    /// Whether this rate is truly above the avail-bw.
+    pub truly_above: bool,
+    /// Fraction of streams where `Ro/Ri < 1 - tol` (rate rule ⇒ above).
+    pub rate_rule_says_above: f64,
+    /// Fraction of streams the trend test classified Increasing.
+    pub trend_says_above: f64,
+    /// Fraction of streams the trend test left Ambiguous.
+    pub trend_ambiguous: f64,
+}
+
+/// The Figure 5 result.
+#[derive(Debug, Clone)]
+pub struct OwdVsRateResult {
+    /// A stream at `rate_above` with a clear increasing trend.
+    pub series_above: OwdSeries,
+    /// A stream at `rate_below` whose `Ro < Ri` despite `Ri < A`
+    /// (the fallacy's counterexample), when one was observed.
+    pub series_below_misleading: Option<OwdSeries>,
+    /// Any stream at `rate_below` (fallback for plotting).
+    pub series_below: OwdSeries,
+    /// Error statistics at both rates.
+    pub stats: Vec<InferenceStats>,
+}
+
+/// Runs the Figure 5 experiment on Pareto ON-OFF cross traffic (bursts
+/// are what make the counterexample common).
+pub fn run(config: &OwdVsRateConfig) -> OwdVsRateResult {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::ParetoOnOff,
+        seed: config.seed,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    let mut runner = s.runner();
+    runner.stream_gap = SimDuration::from_millis(20);
+    let analyzer = TrendAnalyzer::default();
+
+    let mut collect = |rate: f64, truly_above: bool| {
+        let spec = StreamSpec::Periodic {
+            rate_bps: rate,
+            size: 1500,
+            count: config.packets_per_stream,
+        };
+        let mut rate_above = 0u32;
+        let mut trend_above = 0u32;
+        let mut ambiguous = 0u32;
+        let mut sample: Option<OwdSeries> = None;
+        let mut misleading: Option<OwdSeries> = None;
+        for _ in 0..config.streams {
+            let r = runner.run_stream(&mut s.sim, &spec);
+            let Some(ratio) = r.rate_ratio() else { continue };
+            let verdict = analyzer.classify(&r.owds());
+            let expanded = ratio < 1.0 - config.rate_tolerance;
+            if expanded {
+                rate_above += 1;
+            }
+            match verdict {
+                TrendVerdict::Increasing => trend_above += 1,
+                TrendVerdict::Ambiguous => ambiguous += 1,
+                TrendVerdict::NoTrend => {}
+            }
+            let series = || OwdSeries {
+                ri_mbps: rate / 1e6,
+                ro_mbps: r.output_rate_bps().unwrap_or(0.0) / 1e6,
+                owds: r.relative_owds(),
+                trend: verdict,
+            };
+            if sample.is_none() {
+                sample = Some(series());
+            }
+            // the Figure 5 counterexample: Ro < Ri while the trend test
+            // (correctly) sees no increasing trend
+            if !truly_above
+                && expanded
+                && verdict == TrendVerdict::NoTrend
+                && misleading.is_none()
+            {
+                misleading = Some(series());
+            }
+            // prefer a clearly-increasing example for the "above" series
+            if truly_above && verdict == TrendVerdict::Increasing {
+                sample = Some(series());
+            }
+        }
+        let n = config.streams as f64;
+        (
+            sample.expect("at least one stream completed"),
+            misleading,
+            InferenceStats {
+                ri_mbps: rate / 1e6,
+                truly_above,
+                rate_rule_says_above: rate_above as f64 / n,
+                trend_says_above: trend_above as f64 / n,
+                trend_ambiguous: ambiguous as f64 / n,
+            },
+        )
+    };
+
+    let (series_above, _, stats_above) = collect(config.rate_above_bps, true);
+    let (series_below, misleading, stats_below) = collect(config.rate_below_bps, false);
+
+    OwdVsRateResult {
+        series_above,
+        series_below_misleading: misleading,
+        series_below,
+        stats: vec![stats_above, stats_below],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trend_test_is_more_robust_than_rate_test_below_a() {
+        let r = run(&OwdVsRateConfig::quick());
+        let below = r.stats[1];
+        assert!(!below.truly_above);
+        // the trend test must rarely claim "above" below the avail-bw;
+        // the rate test fires false positives on bursts
+        assert!(
+            below.trend_says_above <= below.rate_rule_says_above + 0.02,
+            "trend FP {} vs rate FP {}",
+            below.trend_says_above,
+            below.rate_rule_says_above
+        );
+        assert!(
+            below.trend_says_above < 0.25,
+            "trend false-positive rate {}",
+            below.trend_says_above
+        );
+    }
+
+    #[test]
+    fn above_rate_is_detected_by_both() {
+        let r = run(&OwdVsRateConfig::quick());
+        let above = r.stats[0];
+        assert!(above.truly_above);
+        assert!(
+            above.trend_says_above > 0.5,
+            "trend detection rate {}",
+            above.trend_says_above
+        );
+        assert!(
+            above.rate_rule_says_above > 0.5,
+            "rate detection rate {}",
+            above.rate_rule_says_above
+        );
+        assert_eq!(r.series_above.trend, TrendVerdict::Increasing);
+    }
+
+    #[test]
+    fn series_have_the_right_length() {
+        let r = run(&OwdVsRateConfig::quick());
+        assert_eq!(r.series_above.owds.len(), 160);
+        assert_eq!(r.series_below.owds.len(), 160);
+    }
+}

@@ -1,0 +1,178 @@
+//! Fallacy 4 / **Table 1**: packet pairs are as good as packet trains.
+//!
+//! With fluid cross traffic, pairs and trains are equivalent. Real cross
+//! traffic has discrete, modal packet sizes, so the cross traffic that
+//! interferes inside one pair gap takes quantised values (one 1500 B
+//! packet, two 40 B packets, ...). The bigger the cross packets, the
+//! coarser the quantisation, the higher the per-sample noise — and the
+//! more samples `k` are needed for a given accuracy. Table 1 reports the
+//! relative error of the `k`-sample mean for cross packet sizes
+//! `Lc ∈ {40, 512, 1500}` and `k ∈ {10, 20, 50, 100}`, with 1500 B
+//! probing packets and the avail-bw held at 25 Mb/s.
+
+use abw_netsim::SimDuration;
+use abw_stats::sampling::relative_error;
+use abw_traffic::SizeDist;
+
+use crate::fluid::direct_probing_estimate;
+use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+use crate::stream::StreamSpec;
+
+/// Configuration of the Table 1 experiment.
+#[derive(Debug, Clone)]
+pub struct PairsVsTrainsConfig {
+    /// Cross-traffic packet sizes to sweep (paper: 40, 512, 1500).
+    pub cross_sizes: Vec<u32>,
+    /// Sample counts to evaluate (paper: 10, 20, 50, 100).
+    pub sample_counts: Vec<usize>,
+    /// Total pair samples collected per cross size (split into groups of
+    /// `k` to estimate the error of the `k`-sample mean).
+    pub pool_size: usize,
+    /// Intra-pair probing rate (paper setup: 40 Mb/s).
+    pub pair_rate_bps: f64,
+    /// Probing packet size (paper: 1500 B).
+    pub probe_size: u32,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for PairsVsTrainsConfig {
+    fn default() -> Self {
+        PairsVsTrainsConfig {
+            cross_sizes: vec![40, 512, 1500],
+            sample_counts: vec![10, 20, 50, 100],
+            pool_size: 1000,
+            pair_rate_bps: 40e6,
+            probe_size: 1500,
+            seed: 0x7AB1,
+        }
+    }
+}
+
+impl PairsVsTrainsConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        PairsVsTrainsConfig {
+            cross_sizes: vec![40, 1500],
+            sample_counts: vec![10, 100],
+            pool_size: 400,
+            ..PairsVsTrainsConfig::default()
+        }
+    }
+}
+
+/// One row of Table 1 (one cross packet size).
+#[derive(Debug, Clone)]
+pub struct PairsVsTrainsRow {
+    /// Cross-traffic packet size `Lc`, bytes.
+    pub cross_size: u32,
+    /// `(k, mean |relative error| of the k-sample mean)` per sample count.
+    pub errors: Vec<(usize, f64)>,
+    /// Per-sample standard deviation, Mb/s (the quantisation noise).
+    pub sample_sd_mbps: f64,
+}
+
+/// The Table 1 result.
+#[derive(Debug, Clone)]
+pub struct PairsVsTrainsResult {
+    /// One row per cross packet size.
+    pub rows: Vec<PairsVsTrainsRow>,
+}
+
+/// Runs the Table 1 experiment.
+pub fn run(config: &PairsVsTrainsConfig) -> PairsVsTrainsResult {
+    let truth = 25e6;
+    let ct = 50e6;
+    let rows = config
+        .cross_sizes
+        .iter()
+        .map(|&lc| {
+            let mut s = Scenario::single_hop(&SingleHopConfig {
+                cross: CrossKind::Poisson,
+                cross_sizes: SizeDist::Constant(lc),
+                seed: config.seed.wrapping_add(lc as u64),
+                ..SingleHopConfig::default()
+            });
+            s.warm_up(SimDuration::from_millis(500));
+            let mut runner = s.runner();
+            runner.stream_gap = SimDuration::from_millis(3);
+
+            // one avail-bw sample per pair, via the Equation 9 inversion
+            let spec = StreamSpec::Pair {
+                rate_bps: config.pair_rate_bps,
+                size: config.probe_size,
+            };
+            let mut samples = Vec::with_capacity(config.pool_size);
+            while samples.len() < config.pool_size {
+                let r = runner.run_stream(&mut s.sim, &spec);
+                if let Some(&(g_in, g_out)) = r.pair_gaps().first() {
+                    if g_out > 0.0 {
+                        let ro = config.probe_size as f64 * 8.0 / g_out;
+                        let ri = config.probe_size as f64 * 8.0 / g_in;
+                        samples.push(direct_probing_estimate(ct, ri, ro));
+                    }
+                }
+            }
+            let sd = abw_stats::running::Running::from_samples(&samples).stddev();
+
+            let errors = config
+                .sample_counts
+                .iter()
+                .map(|&k| {
+                    let group_errors: Vec<f64> = samples
+                        .chunks_exact(k)
+                        .map(|g| {
+                            let mean = g.iter().sum::<f64>() / k as f64;
+                            relative_error(mean, truth).abs()
+                        })
+                        .collect();
+                    let mean_err =
+                        group_errors.iter().sum::<f64>() / group_errors.len().max(1) as f64;
+                    (k, mean_err)
+                })
+                .collect();
+
+            PairsVsTrainsRow {
+                cross_size: lc,
+                errors,
+                sample_sd_mbps: sd / 1e6,
+            }
+        })
+        .collect();
+    PairsVsTrainsResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_cross_packets_need_more_samples() {
+        let r = run(&PairsVsTrainsConfig::quick());
+        let small = &r.rows[0];
+        let large = &r.rows[1];
+        assert_eq!(small.cross_size, 40);
+        assert_eq!(large.cross_size, 1500);
+
+        // Table 1 row 1: with 40 B cross packets the error is ~0 even at
+        // k = 10
+        let small_k10 = small.errors[0].1;
+        assert!(small_k10 < 0.06, "Lc=40, k=10: error {small_k10}");
+
+        // with 1500 B cross packets the k=10 error is an order of
+        // magnitude larger...
+        let large_k10 = large.errors[0].1;
+        assert!(
+            large_k10 > small_k10 * 3.0,
+            "Lc=1500 k=10 ({large_k10}) vs Lc=40 k=10 ({small_k10})"
+        );
+        // ...and shrinks substantially by k = 100
+        let large_k100 = large.errors[1].1;
+        assert!(
+            large_k100 < large_k10 * 0.6,
+            "k=100 ({large_k100}) should improve on k=10 ({large_k10})"
+        );
+        // the per-sample quantisation noise is visible directly
+        assert!(large.sample_sd_mbps > small.sample_sd_mbps * 2.0);
+    }
+}

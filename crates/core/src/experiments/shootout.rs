@@ -1,0 +1,284 @@
+//! The comparison the paper's summary asks for: every tool, identical
+//! reproducible conditions, same configuration knobs reported.
+//!
+//! §4: *"compare and evaluate the existing estimation techniques under
+//! reproducible and controllable conditions, and with the same
+//! configuration parameters."* Each tool runs against its own fresh
+//! replica of the same scenario (same seed ⇒ identical cross traffic),
+//! over several seeds; the table reports mean estimate, bias, spread,
+//! probing overhead and latency.
+
+use abw_netsim::SimDuration;
+use abw_stats::running::Running;
+
+use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+use crate::tools::bfind::{Bfind, BfindConfig};
+use crate::tools::delphi::{Delphi, DelphiConfig};
+use crate::tools::direct::{DirectConfig, DirectProber};
+use crate::tools::igi::{Igi, IgiConfig};
+use crate::tools::pathchirp::{Pathchirp, PathchirpConfig};
+use crate::tools::pathload::{Pathload, PathloadConfig};
+use crate::tools::schirp::{Schirp, SchirpConfig};
+use crate::tools::spruce::{Spruce, SpruceConfig};
+use crate::tools::topp::{Topp, ToppConfig};
+
+/// Configuration of the shootout.
+#[derive(Debug, Clone)]
+pub struct ShootoutConfig {
+    /// Cross-traffic model all tools face.
+    pub cross: CrossKind,
+    /// Independent repetitions (seeds) per tool.
+    pub seeds: Vec<u64>,
+    /// Use quick tool settings (for tests).
+    pub quick: bool,
+}
+
+impl Default for ShootoutConfig {
+    fn default() -> Self {
+        ShootoutConfig {
+            cross: CrossKind::Poisson,
+            seeds: vec![11, 22, 33, 44, 55],
+            quick: false,
+        }
+    }
+}
+
+impl ShootoutConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        ShootoutConfig {
+            seeds: vec![11, 22],
+            quick: true,
+            ..ShootoutConfig::default()
+        }
+    }
+}
+
+/// Aggregate result of one tool across the seeds.
+#[derive(Debug, Clone)]
+pub struct ShootoutRow {
+    /// Tool name.
+    pub tool: &'static str,
+    /// Mean estimate across seeds, Mb/s.
+    pub mean_mbps: f64,
+    /// Signed bias vs the true 25 Mb/s, Mb/s.
+    pub bias_mbps: f64,
+    /// Across-seed standard deviation, Mb/s.
+    pub sd_mbps: f64,
+    /// Mean probing packets per estimate.
+    pub mean_packets: f64,
+    /// Mean simulated latency per estimate, seconds (0 when the tool
+    /// does not report it).
+    pub mean_latency_secs: f64,
+}
+
+/// The shootout result.
+#[derive(Debug, Clone)]
+pub struct ShootoutResult {
+    /// The true avail-bw, Mb/s.
+    pub truth_mbps: f64,
+    /// One row per tool.
+    pub rows: Vec<ShootoutRow>,
+}
+
+fn fresh(cross: CrossKind, seed: u64) -> Scenario {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross,
+        seed,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    s
+}
+
+/// Runs the shootout.
+pub fn run(config: &ShootoutConfig) -> ShootoutResult {
+    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64, f64)>;
+    let quick = config.quick;
+    let tools: Vec<(&'static str, ToolFn)> = vec![
+        (
+            "direct",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = DirectProber::new(DirectConfig {
+                    streams: if quick { 20 } else { 100 },
+                    ..DirectConfig::canonical()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets, e.elapsed_secs)
+            }),
+        ),
+        (
+            "delphi",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Delphi::new(DelphiConfig {
+                    trains: if quick { 15 } else { 40 },
+                    ..DelphiConfig::new(50e6)
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets, e.elapsed_secs)
+            }),
+        ),
+        (
+            "spruce",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Spruce::new(SpruceConfig {
+                    pairs: if quick { 50 } else { 100 },
+                    ..SpruceConfig::new(50e6)
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets, e.elapsed_secs)
+            }),
+        ),
+        (
+            "topp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                r.stream_gap = SimDuration::from_millis(5);
+                let rep = Topp::new(ToppConfig {
+                    step_bps: if quick { 3e6 } else { 1e6 },
+                    streams_per_rate: if quick { 3 } else { 6 },
+                    ..ToppConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (rep.avail_bps, rep.probe_packets, 0.0)
+            }),
+        ),
+        (
+            "pathload",
+            Box::new(move |s| {
+                let rep = Pathload::new(if quick {
+                    PathloadConfig::quick()
+                } else {
+                    PathloadConfig::default()
+                })
+                .run(s);
+                (
+                    (rep.range_bps.0 + rep.range_bps.1) / 2.0,
+                    rep.probe_packets,
+                    rep.elapsed_secs,
+                )
+            }),
+        ),
+        (
+            "pathchirp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Pathchirp::new(PathchirpConfig {
+                    chirps: if quick { 15 } else { 30 },
+                    ..PathchirpConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets, e.elapsed_secs)
+            }),
+        ),
+        (
+            "schirp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Schirp::new(SchirpConfig {
+                    chirps: if quick { 15 } else { 30 },
+                    ..SchirpConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets, e.elapsed_secs)
+            }),
+        ),
+        (
+            "igi",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+                (rep.igi_bps, rep.probe_packets, 0.0)
+            }),
+        ),
+        (
+            "ptr",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+                (rep.ptr_bps, rep.probe_packets, 0.0)
+            }),
+        ),
+        (
+            "bfind",
+            Box::new(move |s| {
+                let rep = Bfind::new(BfindConfig::default()).run(s);
+                (rep.avail_bps, rep.probe_packets, 0.0)
+            }),
+        ),
+    ];
+
+    let truth = 25e6;
+    let rows = tools
+        .into_iter()
+        .map(|(name, f)| {
+            let mut estimates = Running::new();
+            let mut packets = Running::new();
+            let mut latency = Running::new();
+            for &seed in &config.seeds {
+                let mut s = fresh(config.cross, seed);
+                let (est, pkts, secs) = f(&mut s);
+                estimates.push(est);
+                packets.push(pkts as f64);
+                latency.push(secs);
+            }
+            ShootoutRow {
+                tool: name,
+                mean_mbps: estimates.mean() / 1e6,
+                bias_mbps: (estimates.mean() - truth) / 1e6,
+                sd_mbps: estimates.stddev() / 1e6,
+                mean_packets: packets.mean(),
+                mean_latency_secs: latency.mean(),
+            }
+        })
+        .collect();
+
+    ShootoutResult {
+        truth_mbps: truth / 1e6,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_tool_lands_in_the_ballpark() {
+        let r = run(&ShootoutConfig::quick());
+        assert_eq!(r.rows.len(), 10);
+        for row in &r.rows {
+            // generous band: this is a smoke test that the harness wires
+            // every tool correctly, not an accuracy claim
+            assert!(
+                (row.mean_mbps - r.truth_mbps).abs() < 15.0,
+                "{}: mean {:.1} Mb/s",
+                row.tool,
+                row.mean_mbps
+            );
+            assert!(row.mean_packets > 0.0, "{}: no packets", row.tool);
+        }
+    }
+
+    #[test]
+    fn overheads_differ_by_orders_of_magnitude() {
+        let r = run(&ShootoutConfig::quick());
+        let max = r
+            .rows
+            .iter()
+            .map(|x| x.mean_packets)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = r
+            .rows
+            .iter()
+            .map(|x| x.mean_packets)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 10.0,
+            "overhead spread {min}..{max} should span an order of magnitude"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Pitfall 10 / **Figure 7**: validating avail-bw estimates against bulk
+//! TCP throughput.
+//!
+//! Bulk TCP throughput depends on socket buffers (`Wr`), RTT, loss,
+//! tight-link buffering and — critically — the *congestion
+//! responsiveness* of the cross traffic. Figure 7 plots the throughput
+//! of a bulk transfer against the receiver window under three cross
+//! traffic types on a path whose avail-bw is 15 Mb/s: unresponsive UDP
+//! (Pareto interarrivals), a few window-limited persistent TCPs, and an
+//! aggregate of short TCP transfers. TCP can land below *or above* the
+//! avail-bw depending on the competition — so the two metrics must not
+//! be conflated.
+
+use abw_netsim::{FlowId, LinkConfig, SimDuration, SimTime, Simulator};
+use abw_tcp::{ShortFlowAgent, TcpConfig, TcpSender, TcpSink};
+use abw_traffic::{ParetoInterarrival, SizeDist, SourceAgent};
+
+/// The three cross-traffic types of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossTrafficType {
+    /// UDP with Pareto interarrivals — completely unresponsive.
+    ParetoUdp,
+    /// A few persistent TCPs limited by their advertised windows
+    /// ("buffer-limited" in the figure's legend).
+    WindowLimitedTcp,
+    /// An aggregate of short TCP transfers ("size-limited").
+    ShortTcp,
+}
+
+/// Configuration of the Figure 7 experiment.
+#[derive(Debug, Clone)]
+pub struct TcpThroughputConfig {
+    /// Bottleneck capacity, bits/s.
+    pub capacity_bps: f64,
+    /// Nominal cross-traffic load, bits/s (avail-bw = capacity − load).
+    pub cross_rate_bps: f64,
+    /// One-way propagation delay of the bottleneck.
+    pub prop_delay: SimDuration,
+    /// Bottleneck buffer, packets of 1500 B.
+    pub buffer_packets: u64,
+    /// Receiver windows to sweep, in segments (the Figure 7 x-axis).
+    pub windows: Vec<u64>,
+    /// Cross types to run.
+    pub cross_types: Vec<CrossTrafficType>,
+    /// Measurement time per point.
+    pub measure: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TcpThroughputConfig {
+    fn default() -> Self {
+        TcpThroughputConfig {
+            capacity_bps: 45e6,
+            cross_rate_bps: 30e6,
+            prop_delay: SimDuration::from_millis(5),
+            buffer_packets: 300,
+            windows: vec![2, 4, 8, 16, 32, 64, 128, 256, 512],
+            cross_types: vec![
+                CrossTrafficType::ParetoUdp,
+                CrossTrafficType::WindowLimitedTcp,
+                CrossTrafficType::ShortTcp,
+            ],
+            measure: SimDuration::from_secs(30),
+            seed: 0xF167,
+        }
+    }
+}
+
+impl TcpThroughputConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        TcpThroughputConfig {
+            windows: vec![4, 64, 512],
+            measure: SimDuration::from_secs(15),
+            ..TcpThroughputConfig::default()
+        }
+    }
+
+    /// The configured avail-bw, bits/s.
+    pub fn avail_bps(&self) -> f64 {
+        self.capacity_bps - self.cross_rate_bps
+    }
+}
+
+/// One curve of Figure 7.
+#[derive(Debug, Clone)]
+pub struct TcpThroughputCurve {
+    /// Cross-traffic type.
+    pub cross: CrossTrafficType,
+    /// `(Wr in segments, bulk TCP goodput in Mb/s)` points.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl TcpThroughputCurve {
+    /// Goodput at the largest probed window, Mb/s.
+    pub fn saturated_mbps(&self) -> f64 {
+        self.points.last().map(|&(_, g)| g).unwrap_or(0.0)
+    }
+
+    /// Goodput at a given window, Mb/s.
+    pub fn at(&self, wr: u64) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == wr).map(|&(_, g)| g)
+    }
+}
+
+/// The Figure 7 result.
+#[derive(Debug, Clone)]
+pub struct TcpThroughputResult {
+    /// The configured avail-bw, Mb/s (the horizontal reference line).
+    pub avail_mbps: f64,
+    /// One curve per cross-traffic type.
+    pub curves: Vec<TcpThroughputCurve>,
+}
+
+/// Runs one (cross type, window) cell and returns goodput in bits/s.
+fn run_cell(config: &TcpThroughputConfig, cross: CrossTrafficType, wr: u64) -> f64 {
+    let mut sim = Simulator::new();
+    let link = sim.add_link(
+        LinkConfig::new(config.capacity_bps, config.prop_delay)
+            .with_queue_packets(config.buffer_packets, 1500),
+    );
+    let path = sim.add_path(vec![link]);
+    let ack_delay = config.prop_delay;
+
+    match cross {
+        CrossTrafficType::ParetoUdp => {
+            let sink = sim.add_agent(Box::new(abw_netsim::CountingSink::new()));
+            sim.add_agent(Box::new(SourceAgent::new(
+                Box::new(ParetoInterarrival::new(
+                    config.cross_rate_bps,
+                    SizeDist::Constant(1000),
+                    2.2,
+                    config.seed,
+                )),
+                path,
+                sink,
+                FlowId(1),
+            )));
+        }
+        CrossTrafficType::WindowLimitedTcp => {
+            // three persistent flows whose windows cap them at roughly
+            // cross_rate in aggregate on the unloaded RTT
+            let rtt = 2.0 * config.prop_delay.as_secs_f64();
+            let per_flow = config.cross_rate_bps / 3.0;
+            let wnd = ((per_flow * rtt) / (1500.0 * 8.0)).ceil().max(1.0) as u64;
+            for i in 0..3 {
+                let sink = sim.add_agent(Box::new(TcpSink::new(ack_delay)));
+                sim.add_agent(Box::new(TcpSender::new(
+                    TcpConfig::bulk(path, sink, FlowId(10 + i))
+                        .with_rwnd(wnd)
+                        .with_start_after(SimDuration::from_millis(37 * i as u64)),
+                )));
+            }
+        }
+        CrossTrafficType::ShortTcp => {
+            // a pool of mice sized to offer roughly cross_rate when idle
+            let flows = 24u64;
+            let segs = 20u64;
+            let rtt = 2.0 * config.prop_delay.as_secs_f64();
+            // rough per-transfer time at slow-start pace: ~4 RTTs
+            let per_transfer_secs = 4.0 * rtt;
+            let per_flow_target = config.cross_rate_bps / flows as f64;
+            let bits_per_transfer = segs as f64 * 1500.0 * 8.0;
+            let cycle = bits_per_transfer / per_flow_target;
+            let think = (cycle - per_transfer_secs).max(0.01);
+            for i in 0..flows {
+                let sink = sim.add_agent(Box::new(TcpSink::new(ack_delay)));
+                sim.add_agent(Box::new(ShortFlowAgent::new(
+                    path,
+                    sink,
+                    FlowId(100 + i as u32),
+                    segs,
+                    SimDuration::from_secs_f64(think),
+                    config.seed.wrapping_add(i),
+                )));
+            }
+        }
+    }
+
+    // warm the cross traffic, then start the bulk transfer
+    let warmup = SimDuration::from_secs(2);
+    let bulk_sink = sim.add_agent(Box::new(TcpSink::new(ack_delay)));
+    let bulk = sim.add_agent(Box::new(TcpSender::new(
+        TcpConfig::bulk(path, bulk_sink, FlowId(999))
+            .with_rwnd(wr)
+            .with_start_after(warmup),
+    )));
+    sim.run_until(SimTime::ZERO + warmup + config.measure);
+    sim.agent::<TcpSender>(bulk)
+        .goodput_bps(SimTime::ZERO + warmup + config.measure)
+}
+
+/// Runs the Figure 7 experiment.
+pub fn run(config: &TcpThroughputConfig) -> TcpThroughputResult {
+    let curves = config
+        .cross_types
+        .iter()
+        .map(|&cross| TcpThroughputCurve {
+            cross,
+            points: config
+                .windows
+                .iter()
+                .map(|&wr| (wr, run_cell(config, cross, wr) / 1e6))
+                .collect(),
+        })
+        .collect();
+    TcpThroughputResult {
+        avail_mbps: config.avail_bps() / 1e6,
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> TcpThroughputResult {
+        run(&TcpThroughputConfig::quick())
+    }
+
+    #[test]
+    fn small_windows_underutilise_everywhere() {
+        let r = result();
+        // Wr = 4: throughput ≈ 4*1500*8/40ms = 1.2 Mb/s « avail-bw
+        for c in &r.curves {
+            let g = c.at(4).unwrap();
+            assert!(
+                g < r.avail_mbps * 0.5,
+                "{:?}: Wr=4 gives {g} Mb/s",
+                c.cross
+            );
+        }
+    }
+
+    #[test]
+    fn unresponsive_cross_caps_tcp_near_the_avail_bw() {
+        let r = result();
+        let udp = r
+            .curves
+            .iter()
+            .find(|c| c.cross == CrossTrafficType::ParetoUdp)
+            .unwrap();
+        let g = udp.saturated_mbps();
+        // TCP against unresponsive cross traffic saturates in the
+        // vicinity of the avail-bw (it cannot push the UDP away)
+        assert!(
+            g < r.avail_mbps * 1.35,
+            "UDP cross: TCP got {g} vs avail {}",
+            r.avail_mbps
+        );
+        assert!(g > r.avail_mbps * 0.35, "UDP cross: TCP collapsed to {g}");
+    }
+
+    #[test]
+    fn responsive_cross_lets_tcp_exceed_the_avail_bw() {
+        let r = result();
+        let tcp_cross = r
+            .curves
+            .iter()
+            .find(|c| c.cross == CrossTrafficType::WindowLimitedTcp)
+            .unwrap();
+        let g = tcp_cross.saturated_mbps();
+        // window-limited competitors back off (their queueing delay
+        // grows, their fixed windows cap them), so the bulk flow takes
+        // more than the nominal avail-bw — the paper's key point
+        assert!(
+            g > r.avail_mbps * 1.2,
+            "responsive cross: TCP got {g} vs avail {}",
+            r.avail_mbps
+        );
+    }
+
+    #[test]
+    fn throughput_grows_with_window_until_saturation() {
+        let r = result();
+        for c in &r.curves {
+            let small = c.at(4).unwrap();
+            let large = c.saturated_mbps();
+            assert!(
+                large > small,
+                "{:?}: no growth with Wr ({small} → {large})",
+                c.cross
+            );
+        }
+    }
+}

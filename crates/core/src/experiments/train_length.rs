@@ -1,0 +1,177 @@
+//! Ablation: train length under a fixed packet budget (Fallacy 4,
+//! continued).
+//!
+//! Table 1 shows pairs lose to trains when cross packets are large.
+//! This sweep makes the trade-off explicit: with a **fixed budget of
+//! probing packets**, longer trains mean fewer (but individually less
+//! noisy) samples. Against coarse-grained cross traffic, the per-sample
+//! quantisation noise falls faster with train length than the sample
+//! count shrinks, so trains win overall — which is why IGI/PTR use
+//! 60-packet trains and Pathload 100-packet streams, while Spruce's 100
+//! pairs need their number.
+
+use abw_netsim::SimDuration;
+use abw_stats::running::Running;
+use abw_stats::sampling::relative_error;
+use abw_traffic::SizeDist;
+
+use crate::fluid::direct_probing_estimate;
+use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+use crate::stream::StreamSpec;
+
+/// Configuration of the train-length sweep.
+#[derive(Debug, Clone)]
+pub struct TrainLengthConfig {
+    /// Train lengths (packets per stream) to compare; 2 = packet pair.
+    pub train_lengths: Vec<u32>,
+    /// Total probing packets spent per estimate, shared by all lengths.
+    pub packet_budget: u32,
+    /// Repetitions (independent estimates) per length.
+    pub repetitions: u32,
+    /// Cross-traffic packet size (large = coarse quantisation).
+    pub cross_size: u32,
+    /// Probing rate, bits/s.
+    pub rate_bps: f64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for TrainLengthConfig {
+    fn default() -> Self {
+        TrainLengthConfig {
+            train_lengths: vec![2, 5, 10, 20, 60],
+            packet_budget: 600,
+            repetitions: 15,
+            cross_size: 1500,
+            rate_bps: 40e6,
+            seed: 0x7A11,
+        }
+    }
+}
+
+impl TrainLengthConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        TrainLengthConfig {
+            train_lengths: vec![2, 60],
+            packet_budget: 360,
+            repetitions: 10,
+            ..TrainLengthConfig::default()
+        }
+    }
+}
+
+/// One row of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainLengthRow {
+    /// Packets per train.
+    pub train_length: u32,
+    /// Streams (samples) per estimate under the budget.
+    pub samples_per_estimate: u32,
+    /// Mean |relative error| of the budgeted estimate.
+    pub mean_abs_error: f64,
+    /// Per-sample standard deviation, Mb/s.
+    pub per_sample_sd_mbps: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct TrainLengthResult {
+    /// One row per train length.
+    pub rows: Vec<TrainLengthRow>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &TrainLengthConfig) -> TrainLengthResult {
+    let truth = 25e6;
+    let ct = 50e6;
+    let rows = config
+        .train_lengths
+        .iter()
+        .map(|&len| {
+            let samples_per_estimate = (config.packet_budget / len).max(1);
+            let mut errors = Vec::new();
+            let mut per_sample = Running::new();
+            for rep in 0..config.repetitions {
+                let mut s = Scenario::single_hop(&SingleHopConfig {
+                    cross: CrossKind::Poisson,
+                    cross_sizes: SizeDist::Constant(config.cross_size),
+                    seed: config
+                        .seed
+                        .wrapping_add((rep as u64) << 24)
+                        .wrapping_add(len as u64),
+                    ..SingleHopConfig::default()
+                });
+                s.warm_up(SimDuration::from_millis(300));
+                let mut runner = s.runner();
+                runner.stream_gap = SimDuration::from_millis(5);
+                let spec = StreamSpec::Periodic {
+                    rate_bps: config.rate_bps,
+                    size: 1500,
+                    count: len,
+                };
+                let mut estimate = Running::new();
+                for _ in 0..samples_per_estimate {
+                    let r = runner.run_stream(&mut s.sim, &spec);
+                    if let Some(ro) = r.output_rate_bps() {
+                        let a = direct_probing_estimate(ct, r.input_rate_bps(), ro);
+                        estimate.push(a);
+                        per_sample.push(a);
+                    }
+                }
+                if estimate.count() > 0 {
+                    errors.push(relative_error(estimate.mean(), truth).abs());
+                }
+            }
+            TrainLengthRow {
+                train_length: len,
+                samples_per_estimate,
+                mean_abs_error: errors.iter().sum::<f64>() / errors.len().max(1) as f64,
+                per_sample_sd_mbps: per_sample.stddev() / 1e6,
+            }
+        })
+        .collect();
+    TrainLengthResult { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_sample_noise_falls_with_train_length() {
+        let r = run(&TrainLengthConfig::quick());
+        let pair = &r.rows[0];
+        let train = &r.rows[1];
+        assert_eq!(pair.train_length, 2);
+        assert_eq!(train.train_length, 60);
+        assert!(
+            train.per_sample_sd_mbps < pair.per_sample_sd_mbps / 2.0,
+            "pair sd {:.1} vs train sd {:.1}",
+            pair.per_sample_sd_mbps,
+            train.per_sample_sd_mbps
+        );
+    }
+
+    #[test]
+    fn trains_beat_pairs_under_a_fixed_budget_on_coarse_traffic() {
+        let r = run(&TrainLengthConfig::quick());
+        let pair = &r.rows[0];
+        let train = &r.rows[1];
+        assert!(
+            train.mean_abs_error <= pair.mean_abs_error * 1.2,
+            "pair err {:.3} vs train err {:.3}",
+            pair.mean_abs_error,
+            train.mean_abs_error
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let r = run(&TrainLengthConfig::quick());
+        for row in &r.rows {
+            assert!(row.train_length * row.samples_per_estimate <= 360);
+            assert!(row.samples_per_estimate >= 1);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Pitfall 1 / **Figure 1**: ignoring the variability of the avail-bw
+//! process.
+//!
+//! Even with perfect per-sample measurement, `k` Poisson samples of
+//! `A_tau(t)` give a sample mean whose error is governed by
+//! `Var[m_A(k)] = Var[A_tau] / k` (Equation 11), and `Var[A_tau]` grows
+//! as the averaging timescale shrinks. The experiment samples the
+//! synthetic NLANR-substitute trace at three timescales and reports the
+//! CDF of the relative error of the 20-sample mean — Figure 1's three
+//! curves.
+
+use abw_stats::ecdf::Ecdf;
+use abw_stats::sampling::relative_error;
+use abw_trace::{SyntheticTrace, SyntheticTraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct VariabilityConfig {
+    /// The trace to sample (the NLANR substitute by default).
+    pub trace: SyntheticTraceConfig,
+    /// Averaging timescales in milliseconds (paper: 1, 10, 100).
+    pub timescales_ms: Vec<u64>,
+    /// Samples per trial (paper: k = 20).
+    pub samples_per_trial: usize,
+    /// Independent trials, each yielding one relative-error value.
+    pub trials: usize,
+    /// Sampling RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VariabilityConfig {
+    fn default() -> Self {
+        VariabilityConfig {
+            trace: SyntheticTraceConfig::default(),
+            timescales_ms: vec![1, 10, 100],
+            samples_per_trial: 20,
+            trials: 1000,
+            seed: 0xF161,
+        }
+    }
+}
+
+impl VariabilityConfig {
+    /// A scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        VariabilityConfig {
+            trace: SyntheticTraceConfig {
+                duration: abw_netsim::SimDuration::from_secs(10),
+                warmup: abw_netsim::SimDuration::from_secs(1),
+                ..SyntheticTraceConfig::default()
+            },
+            trials: 200,
+            ..VariabilityConfig::default()
+        }
+    }
+}
+
+/// One curve of Figure 1.
+#[derive(Debug)]
+pub struct VariabilityCurve {
+    /// Averaging timescale in milliseconds.
+    pub tau_ms: u64,
+    /// ECDF of the relative error of the sample mean.
+    pub error_cdf: Ecdf,
+    /// Fraction of trials with |error| > 5%.
+    pub frac_above_5pct: f64,
+    /// Population standard deviation of `A_tau` (Mb/s), for reference.
+    pub population_sd_mbps: f64,
+}
+
+/// The full Figure 1 result.
+#[derive(Debug)]
+pub struct VariabilityResult {
+    /// Mean avail-bw of the trace, Mb/s.
+    pub trace_mean_mbps: f64,
+    /// One curve per timescale.
+    pub curves: Vec<VariabilityCurve>,
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(config: &VariabilityConfig) -> VariabilityResult {
+    let trace = SyntheticTrace::generate(&config.trace);
+    let process = &trace.process;
+    let truth = process.mean();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let curves = config
+        .timescales_ms
+        .iter()
+        .map(|&tau_ms| {
+            let tau_ns = tau_ms * 1_000_000;
+            let mut errors = Vec::with_capacity(config.trials);
+            for _ in 0..config.trials {
+                let samples = process.poisson_sample(&mut rng, tau_ns, config.samples_per_trial);
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                errors.push(relative_error(mean, truth));
+            }
+            let error_cdf = Ecdf::new(errors);
+            let frac_above_5pct = error_cdf.fraction_abs_above(0.05);
+            VariabilityCurve {
+                tau_ms,
+                error_cdf,
+                frac_above_5pct,
+                population_sd_mbps: process.population(tau_ns).stddev() / 1e6,
+            }
+        })
+        .collect();
+
+    VariabilityResult {
+        trace_mean_mbps: truth / 1e6,
+        curves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_grows_as_timescale_shrinks() {
+        let result = run(&VariabilityConfig::quick());
+        assert_eq!(result.curves.len(), 3);
+        // population SD must decrease with tau...
+        let sds: Vec<f64> = result.curves.iter().map(|c| c.population_sd_mbps).collect();
+        assert!(sds[0] > sds[1] && sds[1] > sds[2], "SDs: {sds:?}");
+        // ...and so must the sample-mean error spread
+        let iqr = |c: &VariabilityCurve| {
+            c.error_cdf.quantile(0.75).unwrap() - c.error_cdf.quantile(0.25).unwrap()
+        };
+        let spreads: Vec<f64> = result.curves.iter().map(iqr).collect();
+        assert!(
+            spreads[0] > spreads[1] && spreads[1] > spreads[2],
+            "IQRs: {spreads:?}"
+        );
+        // the paper's headline: at 1 ms, 20 samples are not enough
+        assert!(
+            result.curves[0].frac_above_5pct > 0.2,
+            "1 ms curve too tight: {}",
+            result.curves[0].frac_above_5pct
+        );
+    }
+
+    #[test]
+    fn errors_are_centred() {
+        // Poisson sampling is unbiased: the error median must be near 0
+        let result = run(&VariabilityConfig::quick());
+        for c in &result.curves {
+            let median = c.error_cdf.median().unwrap();
+            assert!(
+                median.abs() < 0.05,
+                "tau = {} ms: median error {median}",
+                c.tau_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The single-link fluid model (paper §1, Equations 6–10).
+//!
+//! Every published avail-bw estimation technique reduces, in its basic
+//! idea, to this model: a single tight link of capacity `Ct` carrying
+//! fluid cross traffic of constant rate `Rc`, probed by a periodic stream
+//! of rate `Ri` with packets of `L` bytes. The functions here are the
+//! closed forms the tools invert, and the reference the simulator-based
+//! tests compare against (under CBR cross traffic the packet simulator
+//! must agree with the fluid model almost exactly).
+
+/// Queue growth per probing packet when probing faster than the avail-bw
+/// (Equation 6): `Δq = L * (Ri - A) / Ri` for `Ri > A`, else 0.
+///
+/// `l_bytes` is the probing packet size; rates in bits/s; returns bits of
+/// queue growth per probing interarrival.
+pub fn queue_growth_per_packet(l_bytes: f64, ri: f64, avail: f64) -> f64 {
+    assert!(ri > 0.0, "probing rate must be positive");
+    if ri <= avail {
+        0.0
+    } else {
+        l_bytes * 8.0 * (ri - avail) / ri
+    }
+}
+
+/// One-way-delay increase between consecutive probing packets
+/// (Equation 7): `Δd = (L / Ct) * (Ri - A) / Ri` seconds for `Ri > A`,
+/// else 0.
+pub fn owd_increase_per_packet(l_bytes: f64, ct: f64, ri: f64, avail: f64) -> f64 {
+    assert!(ct > 0.0, "capacity must be positive");
+    queue_growth_per_packet(l_bytes, ri, avail) / ct
+}
+
+/// Output (received) rate of a probing stream (Equation 8):
+/// `Ro = Ri * Ct / (Ct + Ri - A)` for `Ri > A`, else `Ro = Ri`.
+///
+/// ```
+/// use abw_core::fluid::{output_rate, direct_probing_estimate};
+/// // 50 Mb/s tight link, 25 Mb/s avail-bw, probing at 40 Mb/s
+/// let ro = output_rate(50e6, 40e6, 25e6);
+/// assert!(ro < 40e6);
+/// // Equation 9 inverts Equation 8 exactly
+/// let a = direct_probing_estimate(50e6, 40e6, ro);
+/// assert!((a - 25e6).abs() < 1.0);
+/// ```
+pub fn output_rate(ct: f64, ri: f64, avail: f64) -> f64 {
+    assert!(ct > 0.0 && ri > 0.0, "rates must be positive");
+    if ri <= avail {
+        ri
+    } else {
+        ri * ct / (ct + ri - avail)
+    }
+}
+
+/// The direct-probing inversion (Equation 9): given the tight-link
+/// capacity and the measured input/output rates with `Ri > A`, recover
+/// the avail-bw: `A = Ct - Ri * (Ct / Ro - 1)`.
+///
+/// Only meaningful when the stream actually overloaded the link
+/// (`Ro < Ri`); for `Ro >= Ri` it returns a value `>= Ct`-side garbage the
+/// caller must treat as "A >= Ri".
+pub fn direct_probing_estimate(ct: f64, ri: f64, ro: f64) -> f64 {
+    assert!(ct > 0.0 && ri > 0.0 && ro > 0.0, "rates must be positive");
+    ct - ri * (ct / ro - 1.0)
+}
+
+/// The iterative-probing predicate (Equation 10): does an observed
+/// `Ro < Ri` (rate expansion) imply `Ri > A` under the fluid model?
+///
+/// `tolerance` absorbs measurement granularity: the stream is declared
+/// overloading when `Ro / Ri < 1 - tolerance`.
+pub fn overloaded(ri: f64, ro: f64, tolerance: f64) -> bool {
+    assert!(ri > 0.0, "input rate must be positive");
+    ro / ri < 1.0 - tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CT: f64 = 50e6;
+    const A: f64 = 25e6;
+    const L: f64 = 1500.0;
+
+    #[test]
+    fn no_growth_below_avail_bw() {
+        assert_eq!(queue_growth_per_packet(L, 20e6, A), 0.0);
+        assert_eq!(queue_growth_per_packet(L, A, A), 0.0);
+        assert_eq!(owd_increase_per_packet(L, CT, 10e6, A), 0.0);
+        assert_eq!(output_rate(CT, 20e6, A), 20e6);
+    }
+
+    #[test]
+    fn growth_above_avail_bw() {
+        // Ri = 40 Mb/s, A = 25 Mb/s: Δq = L*8 * 15/40 = 4500 bits
+        let dq = queue_growth_per_packet(L, 40e6, A);
+        assert!((dq - 4500.0).abs() < 1e-9);
+        // Δd = Δq / Ct = 90 microseconds
+        let dd = owd_increase_per_packet(L, CT, 40e6, A);
+        assert!((dd - 9e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_rate_below_input_when_overloading() {
+        // Ro = 40*50/(50+40-25) = 30.769 Mb/s
+        let ro = output_rate(CT, 40e6, A);
+        assert!((ro - 40e6 * 50.0 / 65.0).abs() < 1.0);
+        assert!(ro < 40e6);
+    }
+
+    #[test]
+    fn inversion_round_trip() {
+        // Equation 9 must invert Equation 8 exactly for any Ri > A
+        for ri in [26e6, 30e6, 40e6, 49e6, 80e6] {
+            let ro = output_rate(CT, ri, A);
+            let est = direct_probing_estimate(CT, ri, ro);
+            assert!(
+                (est - A).abs() < 1.0,
+                "Ri = {ri}: estimate {est} != {A}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_rate_monotone_in_avail() {
+        // more avail-bw ⇒ less expansion ⇒ higher output rate
+        let mut prev = 0.0;
+        for a in [5e6, 15e6, 25e6, 35e6] {
+            let ro = output_rate(CT, 40e6, a);
+            assert!(ro > prev);
+            prev = ro;
+        }
+    }
+
+    #[test]
+    fn output_rate_continuous_at_the_knee() {
+        // approaching Ri = A from above converges to Ro = Ri
+        let ro = output_rate(CT, A + 1.0, A);
+        assert!((ro - (A + 1.0)).abs() < 2.0);
+    }
+
+    #[test]
+    fn overloaded_predicate_with_tolerance() {
+        assert!(overloaded(40e6, 30e6, 0.02));
+        assert!(!overloaded(40e6, 39.8e6, 0.02));
+        // exactly at the tolerance boundary: not overloaded
+        assert!(!overloaded(100.0, 98.0, 0.02));
+    }
+
+    #[test]
+    fn owd_slope_matches_rate_expansion() {
+        // consistency of Equations 7 and 8: cumulative OWD growth over the
+        // stream equals the extra serialisation implied by Ro < Ri
+        let ri = 40e6;
+        let n = 100.0;
+        let dd = owd_increase_per_packet(L, CT, ri, A);
+        let total_owd_growth = dd * (n - 1.0);
+        let ro = output_rate(CT, ri, A);
+        let t_in = (n - 1.0) * L * 8.0 / ri;
+        let t_out = (n - 1.0) * L * 8.0 / ro;
+        assert!(
+            (total_owd_growth - (t_out - t_in)).abs() < 1e-9,
+            "OWD growth {total_owd_growth} vs dispersion growth {}",
+            t_out - t_in
+        );
+    }
+}

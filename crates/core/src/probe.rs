@@ -1,0 +1,396 @@
+//! Probing endpoints and per-stream measurements.
+//!
+//! [`ProbeSender`] transmits one [`StreamSpec`] at a time;
+//! [`ProbeReceiver`] records, for every probing packet, when it was sent
+//! and when it arrived. A [`StreamResult`] packages one stream's records
+//! with the derived quantities all the tools consume: the one-way-delay
+//! series (for trend analysis — Fallacy 8 is precisely that OWDs carry
+//! more information than the single `Ro/Ri` ratio) and the input/output
+//! rates.
+
+use std::collections::HashMap;
+
+use abw_netsim::{
+    packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration, SimTime,
+    Simulator,
+};
+
+use crate::stream::StreamSpec;
+
+/// Token that fires the launch of a pending stream.
+const TOKEN_LAUNCH: u64 = u64::MAX;
+
+/// The probing sender agent: idle until a stream is armed, then emits the
+/// stream's packets at their exact offsets.
+pub struct ProbeSender {
+    path: PathId,
+    dst: AgentId,
+    flow: FlowId,
+    /// Stream waiting for the launch timer.
+    pending: Option<(StreamSpec, u32)>,
+    /// Stream currently on the wire.
+    current: Option<(StreamSpec, u32)>,
+    /// Total probing packets sent.
+    pub sent_packets: u64,
+    /// Total probing bytes sent.
+    pub sent_bytes: u64,
+}
+
+impl ProbeSender {
+    /// A sender probing `path` towards the receiver `dst`.
+    pub fn new(path: PathId, dst: AgentId, flow: FlowId) -> Self {
+        ProbeSender {
+            path,
+            dst,
+            flow,
+            pending: None,
+            current: None,
+            sent_packets: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Arms `spec` as the next stream; it launches when the launch timer
+    /// (scheduled by [`ProbeRunner`]) fires.
+    ///
+    /// Panics if a stream is already armed — streams must not overlap.
+    pub fn arm(&mut self, spec: StreamSpec, stream_id: u32) {
+        assert!(
+            self.pending.is_none(),
+            "a stream is already armed; streams must not overlap"
+        );
+        self.pending = Some((spec, stream_id));
+    }
+}
+
+impl Agent for ProbeSender {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TOKEN_LAUNCH {
+            let (spec, id) = self.pending.take().expect("launch with no armed stream");
+            // schedule one timer per packet at its exact offset
+            for (k, off) in spec.offsets().into_iter().enumerate() {
+                ctx.schedule_in(off, k as u64);
+            }
+            self.current = Some((spec, id));
+            return;
+        }
+        // per-packet timer: token is the packet index
+        let (spec, id) = self.current.as_ref().expect("packet timer with no stream");
+        let size = spec.size();
+        let p = packet_to(
+            self.dst,
+            self.path,
+            self.flow,
+            size,
+            token,
+            PacketKind::Probe { stream: *id },
+        );
+        ctx.send(p);
+        self.sent_packets += 1;
+        self.sent_bytes += size as u64;
+    }
+}
+
+/// One probing packet's life: sequence number, send time, arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Sequence number within the stream.
+    pub seq: u32,
+    /// Send timestamp (stamped by the sender).
+    pub sent_at: SimTime,
+    /// Arrival timestamp at the receiver.
+    pub recv_at: SimTime,
+}
+
+/// The probing receiver agent: records every probing packet by stream id.
+#[derive(Default)]
+pub struct ProbeReceiver {
+    streams: HashMap<u32, Vec<ProbeRecord>>,
+}
+
+impl ProbeReceiver {
+    /// Creates an empty receiver.
+    pub fn new() -> Self {
+        ProbeReceiver::default()
+    }
+
+    /// Packets received so far for `stream`.
+    pub fn received(&self, stream: u32) -> usize {
+        self.streams.get(&stream).map_or(0, Vec::len)
+    }
+
+    /// Removes and returns the records of `stream`, sorted by sequence.
+    pub fn take(&mut self, stream: u32) -> Vec<ProbeRecord> {
+        let mut v = self.streams.remove(&stream).unwrap_or_default();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+}
+
+impl Agent for ProbeReceiver {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        let PacketKind::Probe { stream } = packet.kind else {
+            return;
+        };
+        self.streams.entry(stream).or_default().push(ProbeRecord {
+            seq: packet.seq as u32,
+            sent_at: packet.sent_at,
+            recv_at: ctx.now(),
+        });
+    }
+}
+
+/// Everything measured about one probing stream.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    /// The stream that was sent.
+    pub spec: StreamSpec,
+    /// Stream id.
+    pub stream_id: u32,
+    /// Per-packet records, sorted by sequence; lost packets are absent.
+    pub records: Vec<ProbeRecord>,
+}
+
+impl StreamResult {
+    /// Packets received.
+    pub fn received(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Packets lost.
+    pub fn lost(&self) -> usize {
+        self.spec.count() as usize - self.records.len()
+    }
+
+    /// Loss fraction in `[0, 1]`.
+    pub fn loss_fraction(&self) -> f64 {
+        self.lost() as f64 / self.spec.count() as f64
+    }
+
+    /// One-way delays (seconds) of the received packets, in sequence
+    /// order. Clock offset does not matter for trend analysis; only
+    /// differences are used.
+    pub fn owds(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .map(|r| r.recv_at.since(r.sent_at).as_secs_f64())
+            .collect()
+    }
+
+    /// OWDs shifted so the minimum is zero — convenient for plotting
+    /// (Figure 5 plots "relative OWD").
+    pub fn relative_owds(&self) -> Vec<f64> {
+        let owds = self.owds();
+        let min = owds.iter().cloned().fold(f64::INFINITY, f64::min);
+        owds.iter().map(|d| d - min).collect()
+    }
+
+    /// The nominal input rate of the stream in bits/s.
+    pub fn input_rate_bps(&self) -> f64 {
+        self.spec.nominal_rate_bps()
+    }
+
+    /// Measured output rate `Ro` in bits/s: `(n-1) * L * 8 / span` over
+    /// the received packets. `None` with fewer than 2 arrivals.
+    pub fn output_rate_bps(&self) -> Option<f64> {
+        if self.records.len() < 2 {
+            return None;
+        }
+        let first = self.records.first().expect("non-empty");
+        let last = self.records.last().expect("non-empty");
+        let span = last.recv_at.since(first.recv_at).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        Some((self.records.len() - 1) as f64 * self.spec.size() as f64 * 8.0 / span)
+    }
+
+    /// `Ro / Ri`; `None` when the output rate is unmeasurable.
+    pub fn rate_ratio(&self) -> Option<f64> {
+        Some(self.output_rate_bps()? / self.input_rate_bps())
+    }
+
+    /// Gaps of consecutive (by sequence) packet pairs: `(input gap,
+    /// output gap)` in seconds. Pairs broken by a loss are skipped.
+    pub fn pair_gaps(&self) -> Vec<(f64, f64)> {
+        self.records
+            .windows(2)
+            .filter(|w| w[1].seq == w[0].seq + 1)
+            .map(|w| {
+                (
+                    w[1].sent_at.since(w[0].sent_at).as_secs_f64(),
+                    w[1].recv_at.since(w[0].recv_at).as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Orchestrates probing streams over a simulator: arms the sender, runs
+/// the event loop until the stream drains, and collects the result.
+///
+/// Iterative tools (TOPP, Pathload, pathChirp, IGI) call
+/// [`ProbeRunner::run_stream`] in a loop, choosing each next rate from
+/// the previous result — exactly the structure of Equation 10.
+pub struct ProbeRunner {
+    /// The [`ProbeSender`] agent.
+    pub sender: AgentId,
+    /// The [`ProbeReceiver`] agent.
+    pub receiver: AgentId,
+    /// Idle gap inserted before each stream (lets queues drain between
+    /// streams; the paper's tools space streams for the same reason).
+    pub stream_gap: SimDuration,
+    /// Extra time to wait for in-flight packets after the last send.
+    pub drain_timeout: SimDuration,
+    next_stream_id: u32,
+}
+
+impl ProbeRunner {
+    /// A runner with a 50 ms inter-stream gap and 1 s drain timeout.
+    pub fn new(sender: AgentId, receiver: AgentId) -> Self {
+        ProbeRunner {
+            sender,
+            receiver,
+            stream_gap: SimDuration::from_millis(50),
+            drain_timeout: SimDuration::from_secs(1),
+            next_stream_id: 0,
+        }
+    }
+
+    /// Sends one stream and returns its measurements. The simulation
+    /// advances until every packet arrived or the drain timeout expires
+    /// (lost packets simply stay absent from the result).
+    pub fn run_stream(&mut self, sim: &mut Simulator, spec: &StreamSpec) -> StreamResult {
+        let id = self.next_stream_id;
+        self.next_stream_id += 1;
+
+        sim.agent_mut::<ProbeSender>(self.sender).arm(spec.clone(), id);
+        let launch_at = sim.now() + self.stream_gap;
+        sim.schedule_timer(self.sender, launch_at, TOKEN_LAUNCH);
+
+        let expected = spec.count() as usize;
+        let deadline = launch_at + spec.duration() + self.drain_timeout;
+        // advance in slices so we can stop as soon as the stream is in
+        let slice = SimDuration::from_millis(5);
+        while sim.now() < deadline {
+            sim.run_for(slice);
+            if sim.agent::<ProbeReceiver>(self.receiver).received(id) >= expected {
+                break;
+            }
+        }
+        let records = sim.agent_mut::<ProbeReceiver>(self.receiver).take(id);
+        StreamResult {
+            spec: spec.clone(),
+            stream_id: id,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abw_netsim::LinkConfig;
+
+    /// Idle 50 Mb/s link: measurements must match the fluid model with
+    /// zero cross traffic (Ro = Ri, flat OWDs).
+    fn idle_sim() -> (Simulator, ProbeRunner) {
+        let mut sim = Simulator::new();
+        let link = sim.add_link(LinkConfig::new(50e6, SimDuration::from_millis(2)));
+        let path = sim.add_path(vec![link]);
+        let receiver = sim.add_agent(Box::new(ProbeReceiver::new()));
+        let sender = sim.add_agent(Box::new(ProbeSender::new(path, receiver, FlowId(0))));
+        let runner = ProbeRunner::new(sender, receiver);
+        (sim, runner)
+    }
+
+    #[test]
+    fn idle_link_passes_stream_unchanged() {
+        let (mut sim, mut runner) = idle_sim();
+        let spec = StreamSpec::Periodic {
+            rate_bps: 20e6,
+            size: 1500,
+            count: 50,
+        };
+        let r = runner.run_stream(&mut sim, &spec);
+        assert_eq!(r.received(), 50);
+        assert_eq!(r.lost(), 0);
+        let ratio = r.rate_ratio().unwrap();
+        assert!((ratio - 1.0).abs() < 1e-6, "Ro/Ri = {ratio}");
+        // all OWDs identical: serialisation + propagation
+        let owds = r.owds();
+        let expected = 1500.0 * 8.0 / 50e6 + 0.002;
+        for &d in &owds {
+            assert!((d - expected).abs() < 1e-9, "OWD {d}");
+        }
+    }
+
+    #[test]
+    fn overloading_stream_expands() {
+        // probing at 80 Mb/s over a 50 Mb/s link: Ro must be ~50 Mb/s
+        let (mut sim, mut runner) = idle_sim();
+        let spec = StreamSpec::Periodic {
+            rate_bps: 80e6,
+            size: 1500,
+            count: 100,
+        };
+        let r = runner.run_stream(&mut sim, &spec);
+        assert_eq!(r.received(), 100);
+        let ro = r.output_rate_bps().unwrap();
+        assert!((ro - 50e6).abs() / 50e6 < 0.01, "Ro = {ro}");
+        // OWDs must increase monotonically
+        let owds = r.owds();
+        assert!(owds.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn sequential_streams_do_not_interfere() {
+        let (mut sim, mut runner) = idle_sim();
+        let spec = StreamSpec::Periodic {
+            rate_bps: 80e6,
+            size: 1500,
+            count: 20,
+        };
+        let a = runner.run_stream(&mut sim, &spec);
+        let b = runner.run_stream(&mut sim, &spec);
+        assert_eq!(a.received(), 20);
+        assert_eq!(b.received(), 20);
+        assert_ne!(a.stream_id, b.stream_id);
+        // the second stream starts on an empty queue: same OWD profile
+        let (oa, ob) = (a.relative_owds(), b.relative_owds());
+        for (x, y) in oa.iter().zip(&ob) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pair_gaps_expand_at_the_narrow_link() {
+        let (mut sim, mut runner) = idle_sim();
+        // intra-pair rate 100 Mb/s over a 50 Mb/s link: output gap equals
+        // the link serialisation time of 240 us
+        let spec = StreamSpec::Pair {
+            rate_bps: 100e6,
+            size: 1500,
+        };
+        let r = runner.run_stream(&mut sim, &spec);
+        let gaps = r.pair_gaps();
+        assert_eq!(gaps.len(), 1);
+        let (g_in, g_out) = gaps[0];
+        assert!((g_in - 120e-6).abs() < 1e-9);
+        assert!((g_out - 240e-6).abs() < 1e-9, "output gap {g_out}");
+    }
+
+    #[test]
+    fn chirp_arrives_complete() {
+        let (mut sim, mut runner) = idle_sim();
+        let spec = StreamSpec::Chirp {
+            start_rate_bps: 5e6,
+            gamma: 1.2,
+            size: 1000,
+            count: 15,
+        };
+        let r = runner.run_stream(&mut sim, &spec);
+        assert_eq!(r.received(), 15);
+        assert_eq!(r.pair_gaps().len(), 14);
+    }
+}

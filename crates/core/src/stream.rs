@@ -1,0 +1,248 @@
+//! Probing stream construction.
+//!
+//! A [`StreamSpec`] describes one probing stream as the exact send offset
+//! of every packet. Three families cover all the tools in the paper:
+//!
+//! * **periodic trains** (Delphi, TOPP, Pathload, IGI/PTR, BFind): `N`
+//!   packets at a fixed rate — the probing duration is the averaging
+//!   timescale knob (Pitfall 2);
+//! * **packet pairs** (Spruce, TOPP): two packets at a precise intra-pair
+//!   rate; pairs are spaced with exponential gaps to emulate Poisson
+//!   sampling;
+//! * **chirps** (pathChirp): exponentially shrinking gaps, so one stream
+//!   probes a whole range of rates.
+
+use abw_netsim::{gap_for_rate, SimDuration};
+
+/// Description of one probing stream.
+///
+/// ```
+/// use abw_core::stream::StreamSpec;
+/// // 5 packets of 1500 B at 12 Mb/s: 1 ms between sends
+/// let spec = StreamSpec::Periodic { rate_bps: 12e6, size: 1500, count: 5 };
+/// assert_eq!(spec.offsets().len(), 5);
+/// assert_eq!(spec.duration().as_millis_f64(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamSpec {
+    /// `count` packets of `size` bytes at constant `rate_bps`.
+    Periodic {
+        /// Input rate in bits/s.
+        rate_bps: f64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Number of packets (≥ 2).
+        count: u32,
+    },
+    /// A single packet pair probing at `rate_bps` (intra-pair gap
+    /// `8*size/rate`).
+    Pair {
+        /// Intra-pair rate in bits/s.
+        rate_bps: f64,
+        /// Packet size in bytes.
+        size: u32,
+    },
+    /// A chirp of `count` packets: the first gap corresponds to
+    /// `start_rate_bps` and each subsequent gap shrinks by `gamma`, so
+    /// pair `k` probes `start_rate * gamma^k`.
+    Chirp {
+        /// Rate probed by the first packet pair, bits/s.
+        start_rate_bps: f64,
+        /// Spreading factor (> 1); successive pairs probe `gamma×` faster.
+        gamma: f64,
+        /// Packet size in bytes.
+        size: u32,
+        /// Number of packets (≥ 2).
+        count: u32,
+    },
+}
+
+impl StreamSpec {
+    /// A periodic train sized to last `duration` at `rate_bps` — the
+    /// "probing stream duration = averaging timescale" constructor used
+    /// by the Figure 2 experiment.
+    pub fn periodic_for_duration(rate_bps: f64, size: u32, duration: SimDuration) -> StreamSpec {
+        let gap = gap_for_rate(size, rate_bps);
+        let count = duration.as_nanos().div_ceil(gap.as_nanos()).max(1) as u32 + 1;
+        StreamSpec::Periodic {
+            rate_bps,
+            size,
+            count,
+        }
+    }
+
+    /// Packet size in bytes.
+    pub fn size(&self) -> u32 {
+        match *self {
+            StreamSpec::Periodic { size, .. }
+            | StreamSpec::Pair { size, .. }
+            | StreamSpec::Chirp { size, .. } => size,
+        }
+    }
+
+    /// Number of packets in the stream.
+    pub fn count(&self) -> u32 {
+        match *self {
+            StreamSpec::Periodic { count, .. } => count,
+            StreamSpec::Pair { .. } => 2,
+            StreamSpec::Chirp { count, .. } => count,
+        }
+    }
+
+    /// The nominal input rate: for periodic streams and pairs the
+    /// configured rate; for chirps the geometric mean of the probed range.
+    pub fn nominal_rate_bps(&self) -> f64 {
+        match *self {
+            StreamSpec::Periodic { rate_bps, .. } | StreamSpec::Pair { rate_bps, .. } => rate_bps,
+            StreamSpec::Chirp {
+                start_rate_bps,
+                gamma,
+                count,
+                ..
+            } => start_rate_bps * gamma.powf((count.max(2) - 2) as f64 / 2.0),
+        }
+    }
+
+    /// Exact send offsets of every packet, relative to the stream start.
+    ///
+    /// `offsets()[0]` is always zero; gaps are rounded to nanoseconds.
+    pub fn offsets(&self) -> Vec<SimDuration> {
+        match *self {
+            StreamSpec::Periodic {
+                rate_bps,
+                size,
+                count,
+            } => {
+                assert!(count >= 2, "a stream needs at least 2 packets");
+                let gap = gap_for_rate(size, rate_bps);
+                (0..count as u64).map(|k| SimDuration::from_nanos(gap.as_nanos() * k)).collect()
+            }
+            StreamSpec::Pair { rate_bps, size } => {
+                vec![SimDuration::ZERO, gap_for_rate(size, rate_bps)]
+            }
+            StreamSpec::Chirp {
+                start_rate_bps,
+                gamma,
+                size,
+                count,
+            } => {
+                assert!(count >= 2, "a chirp needs at least 2 packets");
+                assert!(gamma > 1.0, "chirp spreading factor must exceed 1");
+                // the narrowest gap must stay above the clock resolution,
+                // or the chirp's top rates are fiction
+                let first_gap = size as f64 * 8.0 / start_rate_bps;
+                let last_gap = first_gap / gamma.powi(count as i32 - 2);
+                assert!(
+                    last_gap >= 10e-9,
+                    "chirp exceeds the nanosecond clock: final gap {last_gap}s \
+                     (reduce gamma, count, or the start rate)"
+                );
+                let mut offsets = Vec::with_capacity(count as usize);
+                let mut t = 0.0f64;
+                offsets.push(SimDuration::ZERO);
+                for k in 0..(count - 1) {
+                    t += first_gap / gamma.powi(k as i32);
+                    offsets.push(SimDuration::from_secs_f64(t));
+                }
+                offsets
+            }
+        }
+    }
+
+    /// Rate probed by the pair `(k, k+1)`: `8 * size / gap_k`.
+    pub fn pair_rate_bps(&self, k: usize) -> f64 {
+        let offsets = self.offsets();
+        assert!(k + 1 < offsets.len(), "pair index out of range");
+        let gap = offsets[k + 1] - offsets[k];
+        self.size() as f64 * 8.0 / gap.as_secs_f64()
+    }
+
+    /// Total stream duration (first to last packet send).
+    pub fn duration(&self) -> SimDuration {
+        *self.offsets().last().expect("stream has packets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_offsets_are_uniform() {
+        let s = StreamSpec::Periodic {
+            rate_bps: 12e6,
+            size: 1500,
+            count: 5,
+        };
+        let o = s.offsets();
+        assert_eq!(o.len(), 5);
+        assert_eq!(o[0], SimDuration::ZERO);
+        for w in o.windows(2) {
+            assert_eq!(w[1] - w[0], SimDuration::from_millis(1));
+        }
+        assert_eq!(s.duration(), SimDuration::from_millis(4));
+        assert!((s.pair_rate_bps(0) - 12e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn duration_constructor_covers_the_window() {
+        let d = SimDuration::from_millis(100);
+        let s = StreamSpec::periodic_for_duration(40e6, 1500, d);
+        let got = s.duration();
+        // duration within one gap of the request
+        let gap = gap_for_rate(1500, 40e6);
+        assert!(got >= d, "stream too short: {got}");
+        assert!(got.as_nanos() - d.as_nanos() <= gap.as_nanos());
+    }
+
+    #[test]
+    fn pair_is_two_packets() {
+        let s = StreamSpec::Pair {
+            rate_bps: 50e6,
+            size: 1500,
+        };
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.offsets().len(), 2);
+        assert!((s.pair_rate_bps(0) - 50e6).abs() / 50e6 < 1e-6);
+    }
+
+    #[test]
+    fn chirp_rates_grow_geometrically() {
+        let s = StreamSpec::Chirp {
+            start_rate_bps: 10e6,
+            gamma: 1.2,
+            size: 1000,
+            count: 8,
+        };
+        let o = s.offsets();
+        assert_eq!(o.len(), 8);
+        for k in 0..6 {
+            let ratio = s.pair_rate_bps(k + 1) / s.pair_rate_bps(k);
+            assert!((ratio - 1.2).abs() < 0.01, "pair {k}: ratio {ratio}");
+        }
+        assert!((s.pair_rate_bps(0) - 10e6).abs() / 10e6 < 0.01);
+    }
+
+    #[test]
+    fn chirp_nominal_rate_is_geometric_mean() {
+        let s = StreamSpec::Chirp {
+            start_rate_bps: 10e6,
+            gamma: 2.0,
+            size: 1000,
+            count: 4,
+        };
+        // pair rates: 10, 20, 40 → geometric mean 20
+        assert!((s.nominal_rate_bps() - 20e6).abs() / 20e6 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_packet_stream_rejected() {
+        let _ = StreamSpec::Periodic {
+            rate_bps: 1e6,
+            size: 100,
+            count: 1,
+        }
+        .offsets();
+    }
+}

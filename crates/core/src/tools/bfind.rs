@@ -1,0 +1,378 @@
+//! BFind (Akella et al.): sender-only avail-bw probing via per-hop RTTs.
+//!
+//! BFind needs no receiver cooperation: it ramps up a UDP load stream
+//! while running traceroute-style TTL-limited probes to every router on
+//! the path. When the load rate exceeds the avail-bw of some link, that
+//! link's queue grows and the RTT to *that* router inflates — revealing
+//! both the avail-bw (the rate at which inflation started) and which hop
+//! is the tight link.
+//!
+//! In the simulator, routers sit at link inputs and answer TTL expiry
+//! with ICMP time-exceeded over an uncongested reverse path
+//! (`abw-netsim`), so per-hop RTTs reflect exactly the forward queueing
+//! the probe experienced.
+
+use abw_netsim::{
+    gap_for_rate, packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration,
+    Simulator,
+};
+use abw_stats::trend::median;
+
+use crate::scenario::Scenario;
+
+/// BFind configuration.
+#[derive(Debug, Clone)]
+pub struct BfindConfig {
+    /// First load rate probed, bits/s.
+    pub start_rate_bps: f64,
+    /// Rate increase per epoch, bits/s.
+    pub rate_step_bps: f64,
+    /// Give up beyond this rate (paper's BFind also caps its load).
+    pub max_rate_bps: f64,
+    /// How long each load rate is held.
+    pub epoch: SimDuration,
+    /// Gap between traceroute rounds within an epoch.
+    pub trace_interval: SimDuration,
+    /// Load packet size, bytes.
+    pub load_packet_size: u32,
+    /// Traceroute probe size, bytes.
+    pub probe_size: u32,
+    /// A hop is flagged when its median RTT exceeds the baseline by this
+    /// many seconds.
+    pub rtt_threshold: f64,
+}
+
+impl Default for BfindConfig {
+    fn default() -> Self {
+        BfindConfig {
+            start_rate_bps: 4e6,
+            rate_step_bps: 2e6,
+            max_rate_bps: 49e6,
+            epoch: SimDuration::from_millis(500),
+            trace_interval: SimDuration::from_millis(25),
+            load_packet_size: 1000,
+            probe_size: 60,
+            rtt_threshold: 2e-3,
+        }
+    }
+}
+
+/// Per-epoch observation.
+#[derive(Debug, Clone)]
+pub struct BfindEpoch {
+    /// Load rate held during the epoch, bits/s.
+    pub rate_bps: f64,
+    /// Median RTT per hop (seconds); NaN when no reply arrived.
+    pub hop_rtts: Vec<f64>,
+}
+
+/// BFind's result.
+#[derive(Debug, Clone)]
+pub struct BfindReport {
+    /// Estimated avail-bw: the last load rate that did not inflate any
+    /// hop's RTT, bits/s.
+    pub avail_bps: f64,
+    /// Hop index whose RTT inflated (the located tight link), when found.
+    pub tight_hop: Option<usize>,
+    /// All epochs, for plotting the ramp.
+    pub epochs: Vec<BfindEpoch>,
+    /// Load + traceroute packets transmitted.
+    pub probe_packets: u64,
+}
+
+const TOKEN_LOAD: u64 = 1;
+const TOKEN_TRACE: u64 = 2;
+
+/// The probing agent: a rate-adjustable load stream plus periodic
+/// TTL-limited traceroute rounds, with per-hop RTT collection.
+struct BfindAgent {
+    path: PathId,
+    hops: usize,
+    dst: AgentId,
+    load_rate_bps: f64,
+    load_size: u32,
+    probe_size: u32,
+    trace_interval: SimDuration,
+    load_seq: u64,
+    trace_seq: u64,
+    /// In-flight traceroute probes: seq → hop probed.
+    /// RTTs collected since the last drain, per hop.
+    rtt_samples: Vec<Vec<f64>>,
+    packets: u64,
+    running: bool,
+}
+
+impl BfindAgent {
+    fn new(path: PathId, hops: usize, dst: AgentId, config: &BfindConfig) -> Self {
+        BfindAgent {
+            path,
+            hops,
+            dst,
+            load_rate_bps: 0.0,
+            load_size: config.load_packet_size,
+            probe_size: config.probe_size,
+            trace_interval: config.trace_interval,
+            load_seq: 0,
+            trace_seq: 0,
+            rtt_samples: vec![Vec::new(); hops],
+            packets: 0,
+            running: false,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Vec<f64>> {
+        std::mem::replace(&mut self.rtt_samples, vec![Vec::new(); self.hops])
+    }
+}
+
+impl Agent for BfindAgent {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_LOAD => {
+                if !self.running {
+                    return;
+                }
+                if self.load_rate_bps > 0.0 {
+                    let p = packet_to(
+                        self.dst,
+                        self.path,
+                        FlowId(u32::MAX - 1),
+                        self.load_size,
+                        self.load_seq,
+                        PacketKind::Data,
+                    );
+                    ctx.send(p);
+                    self.load_seq += 1;
+                    self.packets += 1;
+                    ctx.schedule_in(gap_for_rate(self.load_size, self.load_rate_bps), TOKEN_LOAD);
+                } else {
+                    // idle baseline: poll for a rate change
+                    ctx.schedule_in(SimDuration::from_millis(10), TOKEN_LOAD);
+                }
+            }
+            TOKEN_TRACE => {
+                if !self.running {
+                    return;
+                }
+                // One probe per link. A probe measuring link k must cross
+                // link k's queue, so it expires at the NEXT router
+                // (ttl = k + 2); the reply attributes to link k. The last
+                // link has no router behind it, so its probe travels the
+                // full path addressed back to this agent (an echo whose
+                // one-way delay includes the last queue; the baseline
+                // difference cancels the missing reverse delay).
+                for hop in 0..self.hops {
+                    let mut p = packet_to(
+                        self.dst,
+                        self.path,
+                        FlowId(u32::MAX - 2),
+                        self.probe_size,
+                        self.trace_seq,
+                        PacketKind::Data,
+                    );
+                    if hop + 1 < self.hops {
+                        p.ttl = hop as u8 + 2;
+                    } else {
+                        p.dst = ctx.self_id();
+                    }
+                    ctx.send(p);
+                    self.trace_seq += 1;
+                    self.packets += 1;
+                }
+                ctx.schedule_in(self.trace_interval, TOKEN_TRACE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        match packet.kind {
+            PacketKind::TtlExceeded {
+                router,
+                orig_sent_at,
+                ..
+            } => {
+                // expired at router `router` ⇒ crossed the queue of link
+                // `router - 1`
+                let rtt = ctx.now().since(orig_sent_at).as_secs_f64();
+                let link = (router as usize).saturating_sub(1);
+                if let Some(bucket) = self.rtt_samples.get_mut(link) {
+                    bucket.push(rtt);
+                }
+            }
+            PacketKind::Data => {
+                // the self-addressed full-path echo: attribute to the
+                // last link
+                let owd = ctx.now().since(packet.sent_at).as_secs_f64();
+                if let Some(bucket) = self.rtt_samples.last_mut() {
+                    bucket.push(owd);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The BFind estimator.
+#[derive(Debug, Clone)]
+pub struct Bfind {
+    config: BfindConfig,
+}
+
+impl Bfind {
+    /// Creates a BFind instance.
+    pub fn new(config: BfindConfig) -> Self {
+        assert!(config.rate_step_bps > 0.0);
+        assert!(config.max_rate_bps > config.start_rate_bps);
+        Bfind { config }
+    }
+
+    /// Runs BFind against a scenario (it installs its own agent; the
+    /// scenario's probing endpoints are not used).
+    pub fn run(&self, scenario: &mut Scenario) -> BfindReport {
+        let hops = scenario.links.len();
+        let path = scenario.probe_path;
+        let dst = scenario.receiver;
+        let agent = BfindAgent::new(path, hops, dst, &self.config);
+        let id = scenario.sim.add_agent(Box::new(agent));
+        self.run_with(&mut scenario.sim, id, hops)
+    }
+
+    fn run_with(&self, sim: &mut Simulator, agent: AgentId, _hops: usize) -> BfindReport {
+        // start the agent's timer loops
+        {
+            let a = sim.agent_mut::<BfindAgent>(agent);
+            a.running = true;
+        }
+        sim.schedule_timer(agent, sim.now(), TOKEN_LOAD);
+        sim.schedule_timer(agent, sim.now(), TOKEN_TRACE);
+
+        // baseline epoch with no load
+        sim.run_for(self.config.epoch);
+        let baseline: Vec<f64> = sim
+            .agent_mut::<BfindAgent>(agent)
+            .drain()
+            .into_iter()
+            .map(|v| median(&v))
+            .collect();
+
+        let mut epochs = Vec::new();
+        let mut rate = self.config.start_rate_bps;
+        let mut result: Option<(f64, usize)> = None;
+        while rate <= self.config.max_rate_bps {
+            sim.agent_mut::<BfindAgent>(agent).load_rate_bps = rate;
+            sim.run_for(self.config.epoch);
+            let rtts: Vec<f64> = sim
+                .agent_mut::<BfindAgent>(agent)
+                .drain()
+                .into_iter()
+                .map(|v| median(&v))
+                .collect();
+            epochs.push(BfindEpoch {
+                rate_bps: rate,
+                hop_rtts: rtts.clone(),
+            });
+            // a queue at link k inflates the probes of links k, k+1, ...;
+            // the tight link is the FIRST link whose probe inflated
+            let mut flagged: Option<usize> = None;
+            for (hop, (&rtt, &base)) in rtts.iter().zip(&baseline).enumerate() {
+                if rtt.is_nan() || base.is_nan() {
+                    continue;
+                }
+                if rtt - base > self.config.rtt_threshold {
+                    flagged = Some(hop);
+                    break;
+                }
+            }
+            if let Some(hop) = flagged {
+                result = Some((rate - self.config.rate_step_bps, hop));
+                break;
+            }
+            rate += self.config.rate_step_bps;
+        }
+
+        // stop the agent
+        {
+            let a = sim.agent_mut::<BfindAgent>(agent);
+            a.running = false;
+            a.load_rate_bps = 0.0;
+        }
+        let packets = sim.agent::<BfindAgent>(agent).packets;
+        match result {
+            Some((avail, hop)) => BfindReport {
+                avail_bps: avail.max(self.config.start_rate_bps),
+                tight_hop: Some(hop),
+                epochs,
+                probe_packets: packets,
+            },
+            None => BfindReport {
+                avail_bps: self.config.max_rate_bps,
+                tight_hop: None,
+                epochs,
+                probe_packets: packets,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrossKind, HopSpec, Scenario, SingleHopConfig};
+    use abw_traffic::SizeDist;
+
+    #[test]
+    fn finds_avail_bw_single_hop() {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross: CrossKind::Cbr,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(300));
+        let report = Bfind::new(BfindConfig::default()).run(&mut s);
+        assert!(
+            (report.avail_bps - 25e6).abs() <= 6e6,
+            "avail {:.1} Mb/s",
+            report.avail_bps / 1e6
+        );
+        assert_eq!(report.tight_hop, Some(0));
+        assert!(!report.epochs.is_empty());
+    }
+
+    #[test]
+    fn locates_the_tight_hop_on_a_multi_hop_path() {
+        // hop 1 of 3 is the only tight link (avail 20 Mb/s; others 45)
+        let mk = |cross_rate: f64| HopSpec {
+            capacity_bps: 50e6,
+            cross_rate_bps: cross_rate,
+            cross: CrossKind::Cbr,
+            cross_sizes: SizeDist::Constant(1500),
+            prop_delay: SimDuration::from_millis(1),
+            queue_bytes: None,
+        };
+        let mut s = Scenario::from_hops(vec![mk(5e6), mk(30e6), mk(5e6)], 11);
+        s.warm_up(SimDuration::from_millis(300));
+        let report = Bfind::new(BfindConfig::default()).run(&mut s);
+        assert_eq!(report.tight_hop, Some(1), "wrong hop: {report:?}");
+        assert!(
+            (report.avail_bps - 20e6).abs() <= 6e6,
+            "avail {:.1} Mb/s",
+            report.avail_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn idle_path_reports_no_tight_hop() {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross_rate_bps: 0.0,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(100));
+        let report = Bfind::new(BfindConfig {
+            max_rate_bps: 40e6, // stay below capacity: never inflates
+            ..BfindConfig::default()
+        })
+        .run(&mut s);
+        assert_eq!(report.tight_hop, None);
+        assert_eq!(report.avail_bps, 40e6);
+    }
+}

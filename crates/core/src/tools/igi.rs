@@ -1,0 +1,230 @@
+//! IGI and PTR (Hu & Steenkiste).
+//!
+//! Both techniques send trains of 60 packets and *increase the input gap*
+//! (decrease the rate) until the **turning point**, where the average
+//! output gap stops exceeding the input gap — the train rate then matches
+//! the avail-bw:
+//!
+//! * **PTR** (Packet Transmission Rate) reports the train's transmission
+//!   rate at the turning point — pure iterative probing, like TOPP but
+//!   with 60-packet trains instead of pairs;
+//! * **IGI** (Initial Gap Increasing) additionally applies a
+//!   direct-probing-style formula at the turning point: the competing
+//!   traffic rate is estimated from the gaps that grew,
+//!   `Rc = Ct * Σ_{g_out > g_in}(g_out - g_in) / Σ g_out`, and
+//!   `A = Ct - Rc` — which is why the paper calls IGI "harder to
+//!   classify" (an iterative tool that still needs `Ct`).
+
+use abw_netsim::Simulator;
+
+use crate::probe::{ProbeRunner, StreamResult};
+use crate::stream::StreamSpec;
+
+/// IGI/PTR configuration.
+#[derive(Debug, Clone)]
+pub struct IgiConfig {
+    /// Tight-link capacity `Ct` (used by the IGI formula only).
+    pub tight_capacity_bps: f64,
+    /// Packets per train (published default 60).
+    pub packets_per_train: u32,
+    /// Probing packet size (published default ~750 B).
+    pub packet_size: u32,
+    /// First probed rate (the initial gap is `8L / rate`), bits/s.
+    pub initial_rate_bps: f64,
+    /// Multiplicative gap increase per iteration (rate divides by this).
+    pub gap_growth: f64,
+    /// Turning point declared when `avg(g_out) <= g_in * (1 + tolerance)`.
+    pub tolerance: f64,
+    /// Hard cap on iterations.
+    pub max_iterations: u32,
+}
+
+impl Default for IgiConfig {
+    fn default() -> Self {
+        IgiConfig {
+            tight_capacity_bps: 50e6,
+            packets_per_train: 60,
+            packet_size: 750,
+            initial_rate_bps: 48e6,
+            gap_growth: 1.12,
+            tolerance: 0.02,
+            max_iterations: 40,
+        }
+    }
+}
+
+/// Result of an IGI/PTR run.
+#[derive(Debug, Clone)]
+pub struct IgiReport {
+    /// The IGI estimate `A = Ct - Rc`, bits/s.
+    pub igi_bps: f64,
+    /// The PTR estimate (train transmission rate at the turning point),
+    /// bits/s.
+    pub ptr_bps: f64,
+    /// Input rate of the train at the turning point, bits/s.
+    pub turning_rate_bps: f64,
+    /// Trains sent before the turning point was found.
+    pub iterations: u32,
+    /// Probing packets transmitted.
+    pub probe_packets: u64,
+}
+
+/// The IGI/PTR estimator.
+#[derive(Debug, Clone)]
+pub struct Igi {
+    config: IgiConfig,
+}
+
+impl Igi {
+    /// Creates an IGI/PTR instance.
+    pub fn new(config: IgiConfig) -> Self {
+        assert!(config.gap_growth > 1.0, "gap must grow between iterations");
+        assert!(config.packets_per_train >= 3);
+        Igi { config }
+    }
+
+    /// The IGI competing-rate formula applied to one train.
+    ///
+    /// An *increased* gap (`g_out > g_in`) means the tight link's queue
+    /// stayed busy across the whole gap, so the cross traffic it carried
+    /// is `(g_out - g_B) * Ct` where `g_B = 8L/Ct` is the probe's own
+    /// service time (the bottleneck gap). Summing over increased gaps:
+    /// `Rc = Ct * Σ(g_out - g_B) / Σ g_out`, and `A = Ct - Rc`.
+    ///
+    /// Returns `(igi_avail, ptr_rate)`; `None` when fewer than 2 packets
+    /// arrived.
+    pub fn analyse_train(&self, result: &StreamResult, g_in: f64) -> Option<(f64, f64)> {
+        let gaps = result.pair_gaps();
+        if gaps.is_empty() {
+            return None;
+        }
+        let l_bits = self.config.packet_size as f64 * 8.0;
+        let g_bottleneck = l_bits / self.config.tight_capacity_bps;
+        let mut cross_time = 0.0;
+        let mut total_out = 0.0;
+        for &(_, g_out) in &gaps {
+            if g_out > g_in && g_out > g_bottleneck {
+                cross_time += g_out - g_bottleneck;
+            }
+            total_out += g_out;
+        }
+        if total_out <= 0.0 {
+            return None;
+        }
+        let rc = self.config.tight_capacity_bps * cross_time / total_out;
+        let igi = self.config.tight_capacity_bps - rc;
+        let ptr = gaps.len() as f64 * l_bits / total_out;
+        Some((igi, ptr))
+    }
+
+    /// Runs trains with growing gaps until the turning point.
+    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> IgiReport {
+        let l_bits = self.config.packet_size as f64 * 8.0;
+        let mut rate = self.config.initial_rate_bps;
+        let mut packets = 0u64;
+        let mut last = None;
+        for iteration in 1..=self.config.max_iterations {
+            let spec = StreamSpec::Periodic {
+                rate_bps: rate,
+                size: self.config.packet_size,
+                count: self.config.packets_per_train,
+            };
+            let result = runner.run_stream(sim, &spec);
+            packets += spec.count() as u64;
+            let g_in = l_bits / rate;
+            if let Some((igi, ptr)) = self.analyse_train(&result, g_in) {
+                last = Some((igi, ptr, rate, iteration));
+                // turning point: output gaps no longer exceed input gaps
+                let gaps = result.pair_gaps();
+                let avg_out: f64 =
+                    gaps.iter().map(|&(_, g)| g).sum::<f64>() / gaps.len() as f64;
+                if avg_out <= g_in * (1.0 + self.config.tolerance) {
+                    return IgiReport {
+                        igi_bps: igi,
+                        ptr_bps: ptr,
+                        turning_rate_bps: rate,
+                        iterations: iteration,
+                        probe_packets: packets,
+                    };
+                }
+            }
+            rate /= self.config.gap_growth;
+        }
+        // never converged: report the last train's numbers
+        let (igi, ptr, rate, iterations) =
+            last.expect("at least one train must produce gaps");
+        IgiReport {
+            igi_bps: igi,
+            ptr_bps: ptr,
+            turning_rate_bps: rate,
+            iterations,
+            probe_packets: packets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+    use abw_netsim::SimDuration;
+
+    fn run_igi(cross: CrossKind) -> IgiReport {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+        let mut runner = s.runner();
+        Igi::new(IgiConfig::default()).run(&mut s.sim, &mut runner)
+    }
+
+    #[test]
+    fn converges_on_cbr() {
+        let r = run_igi(CrossKind::Cbr);
+        assert!(
+            (r.ptr_bps - 25e6).abs() / 25e6 < 0.25,
+            "PTR {:.2} Mb/s",
+            r.ptr_bps / 1e6
+        );
+        assert!(
+            (r.igi_bps - 25e6).abs() / 25e6 < 0.25,
+            "IGI {:.2} Mb/s",
+            r.igi_bps / 1e6
+        );
+        assert!(r.iterations >= 2, "should need several gap increases");
+    }
+
+    #[test]
+    fn converges_on_poisson() {
+        let r = run_igi(CrossKind::Poisson);
+        // burstiness biases towards underestimation (Pitfall 6); accept a
+        // wide band but require the right ballpark
+        assert!(
+            r.ptr_bps > 10e6 && r.ptr_bps < 35e6,
+            "PTR {:.2} Mb/s",
+            r.ptr_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn turning_rate_tracks_ptr() {
+        let r = run_igi(CrossKind::Cbr);
+        // the PTR (output-side rate) can only lag the input rate at the
+        // turning point
+        assert!(r.ptr_bps <= r.turning_rate_bps * 1.05);
+    }
+
+    #[test]
+    fn idle_link_turns_immediately() {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross_rate_bps: 0.0,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(100));
+        let mut runner = s.runner();
+        let r = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut runner);
+        assert_eq!(r.iterations, 1, "48 Mb/s < C = 50 Mb/s: no queueing");
+        assert!(r.igi_bps > 45e6);
+    }
+}

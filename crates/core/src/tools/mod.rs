@@ -1,0 +1,76 @@
+//! The estimation techniques the paper classifies (§2).
+//!
+//! **Direct probing** (each stream yields an avail-bw *sample*, requires
+//! the tight-link capacity `Ct`):
+//! * [`direct`] — periodic trains inverted with Equation 9;
+//! * [`delphi`] — the adaptive train prober (input rate tracks the
+//!   estimate);
+//! * [`spruce`] — Poisson-spaced packet pairs at the tight-link rate.
+//!
+//! **Iterative probing** (each stream only reveals whether its rate
+//! exceeds the avail-bw; no `Ct` needed):
+//! * [`topp`] — linear rate sweep with regression on `Ri/Ro`;
+//! * [`pathload`] — binary rate search with PCT/PDT one-way-delay trend
+//!   tests, reporting a *variation range*;
+//! * [`pathchirp`] — exponentially spaced chirps with excursion analysis;
+//! * [`schirp`] — smoothed chirps (Pásztor's S-chirp);
+//! * [`igi`] — IGI and PTR: gap-increase trains at the turning point;
+//! * [`bfind`] — sender-only ramping UDP load with traceroute-style
+//!   per-hop RTT monitoring.
+//!
+//! Plus [`capacity`], a bprobe-style end-to-end capacity estimator: it
+//! measures the *narrow* link, which is exactly why using it to supply
+//! `Ct` to direct probing is Pitfall 5.
+
+pub mod bfind;
+pub mod capacity;
+pub mod delphi;
+pub mod direct;
+pub mod igi;
+pub mod pathchirp;
+pub mod pathload;
+pub mod schirp;
+pub mod spruce;
+pub mod topp;
+
+use abw_stats::running::Summary;
+
+/// A point estimate of the avail-bw plus per-sample statistics.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// The avail-bw estimate in bits/s.
+    pub avail_bps: f64,
+    /// Statistics of the per-stream samples behind the estimate.
+    pub samples: Summary,
+    /// Probing packets transmitted to produce the estimate (overhead).
+    pub probe_packets: u64,
+    /// Simulated time the measurement occupied (latency).
+    pub elapsed_secs: f64,
+}
+
+/// A variation-range estimate `(R_L, R_H)` — what iterative probing
+/// actually converges to (Fallacy 9).
+#[derive(Debug, Clone)]
+pub struct RangeEstimate {
+    /// `(low, high)` of the variation range, bits/s.
+    pub range_bps: (f64, f64),
+    /// Midpoint of the range, bits/s.
+    pub midpoint_bps: f64,
+    /// Probing packets transmitted.
+    pub probe_packets: u64,
+    /// Simulated time the measurement occupied.
+    pub elapsed_secs: f64,
+}
+
+impl RangeEstimate {
+    /// Builds a range estimate, ordering the bounds.
+    pub fn new(lo: f64, hi: f64, probe_packets: u64, elapsed_secs: f64) -> Self {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        RangeEstimate {
+            range_bps: (lo, hi),
+            midpoint_bps: (lo + hi) / 2.0,
+            probe_packets,
+            elapsed_secs,
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Pathload (Jain & Dovrolis): binary-search iterative probing with
+//! one-way-delay trend analysis.
+//!
+//! Pathload differs from the other iterative tools in three ways the
+//! paper emphasises:
+//!
+//! 1. it infers `Ri > A` from the *statistical trend* of the stream's
+//!    OWDs (PCT/PDT tests on group medians) rather than from the single
+//!    ratio `Ro/Ri` (Fallacy 8);
+//! 2. it varies the rate by **binary search** rather than linearly;
+//! 3. it reports a **variation range** `(R_L, R_H)` rather than a point
+//!    estimate, because the avail-bw process moves while the iteration
+//!    runs (Fallacy 9).
+
+use abw_netsim::Simulator;
+use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
+
+use crate::probe::ProbeRunner;
+use crate::stream::StreamSpec;
+use crate::tools::RangeEstimate;
+
+/// Pathload configuration.
+#[derive(Debug, Clone)]
+pub struct PathloadConfig {
+    /// Initial lower bound of the search, bits/s.
+    pub min_rate_bps: f64,
+    /// Initial upper bound of the search, bits/s.
+    pub max_rate_bps: f64,
+    /// Terminate when `max - min` falls below this resolution (Pathload's
+    /// `omega`).
+    pub resolution_bps: f64,
+    /// Streams per fleet (Pathload sends a fleet at each rate and votes).
+    pub streams_per_fleet: u32,
+    /// Packets per stream (Pathload's `K`; 100 in the published tool).
+    pub packets_per_stream: u32,
+    /// Probing packet size, bytes.
+    pub packet_size: u32,
+    /// Fraction of increasing-trend streams above which the fleet's rate
+    /// is declared above the avail-bw.
+    pub above_fraction: f64,
+    /// Fraction below which the rate is declared below the avail-bw.
+    pub below_fraction: f64,
+    /// The PCT/PDT analyser.
+    pub trend: TrendAnalyzer,
+}
+
+impl Default for PathloadConfig {
+    fn default() -> Self {
+        PathloadConfig {
+            min_rate_bps: 1e6,
+            max_rate_bps: 49e6,
+            resolution_bps: 2e6,
+            streams_per_fleet: 12,
+            packets_per_stream: 100,
+            packet_size: 1500,
+            above_fraction: 0.7,
+            below_fraction: 0.3,
+            trend: TrendAnalyzer::default(),
+        }
+    }
+}
+
+impl PathloadConfig {
+    /// A faster configuration for tests and examples: smaller fleets,
+    /// coarser resolution.
+    pub fn quick() -> Self {
+        PathloadConfig {
+            streams_per_fleet: 6,
+            packets_per_stream: 60,
+            resolution_bps: 4e6,
+            ..PathloadConfig::default()
+        }
+    }
+}
+
+/// Outcome of one fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetVerdict {
+    /// Most streams had increasing OWDs: rate > avail-bw.
+    Above,
+    /// Few streams had increasing OWDs: rate ≤ avail-bw.
+    Below,
+    /// Mixed verdicts: the rate sits inside the avail-bw variation range
+    /// (Pathload's "grey region").
+    Grey,
+}
+
+/// Pathload's result: the variation range and the search trace.
+#[derive(Debug, Clone)]
+pub struct PathloadReport {
+    /// The variation range `(R_L, R_H)` in bits/s.
+    pub range_bps: (f64, f64),
+    /// Every fleet: `(rate, verdict, increasing fraction)`.
+    pub fleets: Vec<(f64, FleetVerdict, f64)>,
+    /// Probing packets transmitted.
+    pub probe_packets: u64,
+    /// Simulated seconds the measurement took.
+    pub elapsed_secs: f64,
+}
+
+impl PathloadReport {
+    /// The range as a [`RangeEstimate`].
+    pub fn as_range(&self) -> RangeEstimate {
+        RangeEstimate::new(
+            self.range_bps.0,
+            self.range_bps.1,
+            self.probe_packets,
+            self.elapsed_secs,
+        )
+    }
+}
+
+/// The Pathload estimator.
+#[derive(Debug, Clone)]
+pub struct Pathload {
+    config: PathloadConfig,
+}
+
+impl Pathload {
+    /// Creates a Pathload instance.
+    pub fn new(config: PathloadConfig) -> Self {
+        assert!(config.max_rate_bps > config.min_rate_bps);
+        assert!(config.resolution_bps > 0.0);
+        assert!(config.streams_per_fleet >= 1);
+        Pathload { config }
+    }
+
+    /// Sends one fleet at `rate` and votes on the OWD trends.
+    pub fn run_fleet(
+        &self,
+        sim: &mut Simulator,
+        runner: &mut ProbeRunner,
+        rate_bps: f64,
+    ) -> (FleetVerdict, f64, u64) {
+        let spec = StreamSpec::Periodic {
+            rate_bps,
+            size: self.config.packet_size,
+            count: self.config.packets_per_stream,
+        };
+        let mut increasing = 0u32;
+        let mut decided = 0u32;
+        let mut packets = 0u64;
+        for _ in 0..self.config.streams_per_fleet {
+            let result = runner.run_stream(sim, &spec);
+            packets += spec.count() as u64;
+            match self.config.trend.classify(&result.owds()) {
+                TrendVerdict::Increasing => {
+                    increasing += 1;
+                    decided += 1;
+                }
+                TrendVerdict::NoTrend => decided += 1,
+                TrendVerdict::Ambiguous => {}
+            }
+        }
+        let fraction = if decided == 0 {
+            0.5
+        } else {
+            increasing as f64 / decided as f64
+        };
+        let verdict = if fraction > self.config.above_fraction {
+            FleetVerdict::Above
+        } else if fraction < self.config.below_fraction {
+            FleetVerdict::Below
+        } else {
+            FleetVerdict::Grey
+        };
+        (verdict, fraction, packets)
+    }
+
+    /// Runs the full binary search and returns the variation range.
+    pub fn run(&self, scenario: &mut crate::scenario::Scenario) -> PathloadReport {
+        let mut runner = scenario.runner();
+        self.run_with(&mut scenario.sim, &mut runner)
+    }
+
+    /// Runs against an explicit simulator/runner pair.
+    pub fn run_with(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> PathloadReport {
+        let start = sim.now();
+        let mut lo = self.config.min_rate_bps;
+        let mut hi = self.config.max_rate_bps;
+        // grey-region bounds observed during the search
+        let mut grey_lo = f64::INFINITY;
+        let mut grey_hi = f64::NEG_INFINITY;
+        let mut fleets = Vec::new();
+        let mut packets = 0u64;
+
+        while hi - lo > self.config.resolution_bps {
+            let rate = (lo + hi) / 2.0;
+            let (verdict, fraction, pkts) = self.run_fleet(sim, runner, rate);
+            packets += pkts;
+            fleets.push((rate, verdict, fraction));
+            match verdict {
+                FleetVerdict::Above => hi = rate,
+                FleetVerdict::Below => lo = rate,
+                FleetVerdict::Grey => {
+                    grey_lo = grey_lo.min(rate);
+                    grey_hi = grey_hi.max(rate);
+                    // a grey rate is inside the variation range: tighten
+                    // both sides toward it so the search can terminate
+                    let quarter = (hi - lo) / 4.0;
+                    lo = (rate - quarter).max(lo);
+                    hi = (rate + quarter).min(hi);
+                }
+            }
+        }
+
+        // widen the final bracket by any grey rates seen outside it
+        let range_lo = lo.min(grey_lo);
+        let range_hi = hi.max(grey_hi);
+        PathloadReport {
+            range_bps: (range_lo, range_hi),
+            fleets,
+            probe_packets: packets,
+            elapsed_secs: sim.now().since(start).as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+    use abw_netsim::SimDuration;
+
+    fn scenario(cross: CrossKind) -> Scenario {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+        s
+    }
+
+    #[test]
+    fn brackets_avail_bw_on_cbr() {
+        let mut s = scenario(CrossKind::Cbr);
+        let report = Pathload::new(PathloadConfig::quick()).run(&mut s);
+        let (lo, hi) = report.range_bps;
+        assert!(lo <= 25e6 + 3e6, "low bound {:.1} Mb/s", lo / 1e6);
+        assert!(hi >= 25e6 - 3e6, "high bound {:.1} Mb/s", hi / 1e6);
+        assert!(hi - lo <= 10e6, "range too wide: {:.1} Mb/s", (hi - lo) / 1e6);
+    }
+
+    #[test]
+    fn brackets_avail_bw_on_poisson() {
+        let mut s = scenario(CrossKind::Poisson);
+        let report = Pathload::new(PathloadConfig::quick()).run(&mut s);
+        let (lo, hi) = report.range_bps;
+        let mid = (lo + hi) / 2.0;
+        assert!(
+            (mid - 25e6).abs() / 25e6 < 0.3,
+            "midpoint {:.1} Mb/s",
+            mid / 1e6
+        );
+    }
+
+    #[test]
+    fn fleet_verdicts_flip_across_the_avail_bw() {
+        let mut s = scenario(CrossKind::Cbr);
+        let pl = Pathload::new(PathloadConfig::quick());
+        let mut runner = s.runner();
+        let (below, frac_b, _) = pl.run_fleet(&mut s.sim, &mut runner, 15e6);
+        let (above, frac_a, _) = pl.run_fleet(&mut s.sim, &mut runner, 40e6);
+        assert_eq!(below, FleetVerdict::Below, "15 Mb/s fraction {frac_b}");
+        assert_eq!(above, FleetVerdict::Above, "40 Mb/s fraction {frac_a}");
+    }
+
+    #[test]
+    fn report_converts_to_range_estimate() {
+        let mut s = scenario(CrossKind::Cbr);
+        let report = Pathload::new(PathloadConfig::quick()).run(&mut s);
+        let range = report.as_range();
+        assert!(range.range_bps.0 <= range.midpoint_bps);
+        assert!(range.midpoint_bps <= range.range_bps.1);
+        assert_eq!(range.probe_packets, report.probe_packets);
+    }
+}

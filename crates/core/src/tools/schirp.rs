@@ -1,0 +1,189 @@
+//! S-chirp — smoothed chirps (Pásztor, PhD thesis 2003).
+//!
+//! Like pathChirp, S-chirp probes a whole rate range within one stream;
+//! the difference is the analysis: instead of segmenting the raw
+//! queueing-delay signature into excursions, S-chirp *smooths* the
+//! per-pair delay-variation series over a window before locating the
+//! sustained-increase onset. Smoothing trades rate resolution for
+//! robustness to packet-scale noise — the same latency/accuracy dial as
+//! everywhere else in this area (Fallacy 3).
+
+use abw_netsim::Simulator;
+#[cfg(test)]
+use abw_netsim::SimDuration;
+use abw_stats::running::Running;
+
+use crate::probe::{ProbeRunner, StreamResult};
+use crate::stream::StreamSpec;
+use crate::tools::Estimate;
+
+/// S-chirp configuration.
+#[derive(Debug, Clone)]
+pub struct SchirpConfig {
+    /// Rate probed by the first (widest) pair, bits/s.
+    pub start_rate_bps: f64,
+    /// Spreading factor between consecutive pairs.
+    pub gamma: f64,
+    /// Packets per chirp.
+    pub packets_per_chirp: u32,
+    /// Probing packet size, bytes.
+    pub packet_size: u32,
+    /// Chirps averaged per estimate.
+    pub chirps: u32,
+    /// Moving-average window (in pairs) applied to the delay series.
+    pub smoothing_window: usize,
+    /// Smoothed delay slope above this (seconds per pair) marks the
+    /// overload onset.
+    pub slope_threshold: f64,
+}
+
+impl Default for SchirpConfig {
+    fn default() -> Self {
+        SchirpConfig {
+            start_rate_bps: 5e6,
+            gamma: 1.2,
+            packets_per_chirp: 24,
+            packet_size: 1000,
+            chirps: 30,
+            smoothing_window: 3,
+            slope_threshold: 8e-6,
+        }
+    }
+}
+
+/// The S-chirp estimator.
+#[derive(Debug, Clone)]
+pub struct Schirp {
+    config: SchirpConfig,
+}
+
+impl Schirp {
+    /// Creates an S-chirp instance.
+    pub fn new(config: SchirpConfig) -> Self {
+        assert!(config.gamma > 1.0);
+        assert!(config.smoothing_window >= 1);
+        assert!(config.packets_per_chirp >= 4);
+        Schirp { config }
+    }
+
+    /// Centered moving average with the configured window.
+    fn smooth(&self, xs: &[f64]) -> Vec<f64> {
+        let w = self.config.smoothing_window;
+        (0..xs.len())
+            .map(|i| {
+                let lo = i.saturating_sub(w / 2);
+                let hi = (i + w.div_ceil(2)).min(xs.len());
+                xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    }
+
+    /// The per-chirp estimate: the pair rate at the onset of a sustained
+    /// increase in the smoothed queueing-delay series.
+    pub fn chirp_estimate(&self, result: &StreamResult) -> Option<f64> {
+        if result.received() < 4 {
+            return None;
+        }
+        let owds = result.relative_owds();
+        let rates: Vec<f64> = result
+            .pair_gaps()
+            .iter()
+            .map(|&(g_in, _)| self.config.packet_size as f64 * 8.0 / g_in)
+            .collect();
+        if rates.is_empty() {
+            return None;
+        }
+        let q = self.smooth(&owds[1..]);
+
+        // onset: the last index from which the smoothed delays increase
+        // by at least the threshold per pair, through to the chirp's end
+        let mut onset = None;
+        let mut k = q.len();
+        while k >= 2 && q[k - 1] - q[k - 2] > self.config.slope_threshold {
+            k -= 1;
+            onset = Some(k - 1);
+        }
+        match onset {
+            Some(j) => Some(rates[j.min(rates.len() - 1)]),
+            None => rates.last().copied(),
+        }
+    }
+
+    /// Sends the configured chirps and averages the per-chirp estimates.
+    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Estimate {
+        let start = sim.now();
+        let spec = StreamSpec::Chirp {
+            start_rate_bps: self.config.start_rate_bps,
+            gamma: self.config.gamma,
+            size: self.config.packet_size,
+            count: self.config.packets_per_chirp,
+        };
+        let mut samples = Running::new();
+        let mut packets = 0u64;
+        for _ in 0..self.config.chirps {
+            let result = runner.run_stream(sim, &spec);
+            packets += spec.count() as u64;
+            if let Some(e) = self.chirp_estimate(&result) {
+                samples.push(e);
+            }
+        }
+        Estimate {
+            avail_bps: samples.mean(),
+            samples: samples.summary(),
+            probe_packets: packets,
+            elapsed_secs: sim.now().since(start).as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+
+    fn run_schirp(cross: CrossKind, seed: u64) -> Estimate {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross,
+            seed,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+        let mut runner = s.runner();
+        Schirp::new(SchirpConfig::default()).run(&mut s.sim, &mut runner)
+    }
+
+    #[test]
+    fn tracks_avail_bw_on_cbr() {
+        let est = run_schirp(CrossKind::Cbr, 1);
+        assert!(
+            (est.avail_bps - 25e6).abs() / 25e6 < 0.35,
+            "estimate {:.2} Mb/s",
+            est.avail_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn tracks_avail_bw_on_poisson() {
+        let est = run_schirp(CrossKind::Poisson, 2);
+        assert!(
+            (est.avail_bps - 25e6).abs() / 25e6 < 0.45,
+            "estimate {:.2} Mb/s",
+            est.avail_bps / 1e6
+        );
+    }
+
+    #[test]
+    fn smoothing_preserves_length_and_mean() {
+        let s = Schirp::new(SchirpConfig::default());
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let sm = s.smooth(&xs);
+        assert_eq!(sm.len(), xs.len());
+        let mean_raw = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_sm = sm.iter().sum::<f64>() / sm.len() as f64;
+        assert!((mean_raw - mean_sm).abs() < 1.0);
+        // a linear ramp stays (approximately) a linear ramp
+        for w in sm.windows(2).skip(2).take(14) {
+            assert!((w[1] - w[0] - 1.0).abs() < 0.5);
+        }
+    }
+}

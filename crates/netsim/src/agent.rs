@@ -1,0 +1,168 @@
+//! Agents: the active endpoints of the simulation.
+//!
+//! Traffic sources, sinks, probing senders/receivers and TCP endpoints all
+//! implement [`Agent`]. Agents interact with the network exclusively
+//! through the [`Ctx`] handle they receive in callbacks: sending packets
+//! down a path, delivering directly to a peer (uncongested reverse path),
+//! and scheduling timers.
+
+use std::any::Any;
+
+use crate::event::{Event, EventQueue};
+use crate::packet::{AgentId, Packet, PathId};
+use crate::time::{SimDuration, SimTime};
+
+/// Behaviour of a simulation endpoint.
+///
+/// All callbacks receive a [`Ctx`] scoped to the current simulation time.
+/// Implementations must be `'static` so the simulator can own them.
+pub trait Agent: Any {
+    /// Called once when the simulation starts (before any event).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called when a timer scheduled with [`Ctx::schedule_in`] /
+    /// [`Ctx::schedule_at`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Called when a packet addressed to this agent is delivered.
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+}
+
+/// Handle through which an agent acts on the simulation.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) agent: AgentId,
+    pub(crate) events: &'a mut EventQueue,
+    pub(crate) next_packet_id: &'a mut u64,
+    pub(crate) injected: &'a mut u64,
+}
+
+impl Ctx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the agent being called.
+    pub fn self_id(&self) -> AgentId {
+        self.agent
+    }
+
+    /// Sends `packet` onto the first link of its path, right now.
+    ///
+    /// The packet's `id` is assigned here; `src` is forced to the calling
+    /// agent so ICMP errors return to the right place. `hop` is reset to 0.
+    pub fn send(&mut self, mut packet: Packet) {
+        packet.id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        packet.src = self.agent;
+        packet.hop = 0;
+        packet.sent_at = self.now;
+        *self.injected += 1;
+        self.events.push(self.now, Event::Arrive { packet });
+    }
+
+    /// Delivers `packet` directly to `dst` after `delay`, bypassing all
+    /// links — the model of an uncongested reverse path used for TCP ACKs.
+    pub fn send_direct(&mut self, dst: AgentId, mut packet: Packet, delay: SimDuration) {
+        packet.id = *self.next_packet_id;
+        *self.next_packet_id += 1;
+        packet.src = self.agent;
+        packet.sent_at = self.now;
+        *self.injected += 1;
+        self.events
+            .push(self.now + delay, Event::Deliver { agent: dst, packet });
+    }
+
+    /// Schedules `on_timer(token)` for this agent after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
+        self.events.push(
+            self.now + delay,
+            Event::Timer {
+                agent: self.agent,
+                token,
+            },
+        );
+    }
+
+    /// Schedules `on_timer(token)` for this agent at absolute time `at`
+    /// (which must not be in the past).
+    pub fn schedule_at(&mut self, at: SimTime, token: u64) {
+        assert!(at >= self.now, "cannot schedule a timer in the past");
+        self.events.push(
+            at,
+            Event::Timer {
+                agent: self.agent,
+                token,
+            },
+        );
+    }
+}
+
+/// A packet sink that counts and optionally timestamps deliveries.
+///
+/// Used directly as the destination for cross-traffic flows, and in tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Packets received.
+    pub packets: u64,
+    /// Bytes received.
+    pub bytes: u64,
+    /// Arrival time of the first packet.
+    pub first_arrival: Option<SimTime>,
+    /// Arrival time of the most recent packet.
+    pub last_arrival: Option<SimTime>,
+}
+
+impl CountingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Mean received rate in bits/s between first and last arrival;
+    /// `None` with fewer than 2 packets.
+    pub fn mean_rate_bps(&self) -> Option<f64> {
+        let (first, last) = (self.first_arrival?, self.last_arrival?);
+        if last <= first {
+            return None;
+        }
+        Some(self.bytes as f64 * 8.0 / last.since(first).as_secs_f64())
+    }
+}
+
+impl Agent for CountingSink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        self.packets += 1;
+        self.bytes += packet.size as u64;
+        if self.first_arrival.is_none() {
+            self.first_arrival = Some(ctx.now());
+        }
+        self.last_arrival = Some(ctx.now());
+    }
+}
+
+/// Helper for agents that need a well-formed packet skeleton: fills the
+/// routing fields and leaves sizing/kind to the caller.
+pub fn packet_to(
+    dst: AgentId,
+    path: PathId,
+    flow: crate::packet::FlowId,
+    size: u32,
+    seq: u64,
+    kind: crate::packet::PacketKind,
+) -> Packet {
+    Packet {
+        id: 0, // assigned by Ctx::send
+        flow,
+        src: AgentId(usize::MAX), // overwritten by Ctx::send
+        dst,
+        path,
+        hop: 0,
+        size,
+        seq,
+        sent_at: SimTime::ZERO, // overwritten by Ctx::send
+        ttl: crate::packet::DEFAULT_TTL,
+        kind,
+    }
+}

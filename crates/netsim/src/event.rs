@@ -1,0 +1,138 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)`: ties in simulated
+//! time resolve in insertion order, which makes every run bit-identical
+//! for a given seed — a property the integration tests assert.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::packet::{AgentId, LinkId, Packet};
+use crate::time::SimTime;
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+pub enum Event {
+    /// `packet` arrives at the input of the link `packet.path[packet.hop]`.
+    Arrive { packet: Packet },
+    /// The link finishes serialising its head-of-line packet.
+    TxDone { link: LinkId },
+    /// An agent timer fires; `token` is the value the agent scheduled.
+    Timer { agent: AgentId, token: u64 },
+    /// `packet` is handed to its destination agent.
+    Deliver { agent: AgentId, packet: Packet },
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry surfaces.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), Event::Timer { agent: AgentId(0), token: 3 });
+        q.push(SimTime::from_nanos(10), Event::Timer { agent: AgentId(0), token: 1 });
+        q.push(SimTime::from_nanos(20), Event::Timer { agent: AgentId(0), token: 2 });
+        let mut tokens = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            if let Event::Timer { token, .. } = ev {
+                tokens.push(token);
+            }
+        }
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_resolve_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for token in 0..100 {
+            q.push(t, Event::Timer { agent: AgentId(0), token });
+        }
+        let mut tokens = Vec::new();
+        while let Some((_, Event::Timer { token, .. })) = q.pop() {
+            tokens.push(token);
+        }
+        assert_eq!(tokens, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.push(SimTime::from_nanos(7), Event::TxDone { link: LinkId(0) });
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(7));
+        assert!(q.is_empty());
+    }
+}

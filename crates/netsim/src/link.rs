@@ -1,0 +1,393 @@
+//! Store-and-forward links with FIFO drop-tail queues.
+//!
+//! A link models an output interface: packets that arrive while the
+//! interface is transmitting wait in a FIFO queue bounded in bytes.
+//! Every transmission is recorded as a busy interval so that the exact
+//! available bandwidth `A_tau(t) = C * (1 - u(t, t+tau))` of the link can
+//! be computed afterwards (the "population" ground truth the paper's
+//! Figures 1, 2 and 6 compare against).
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+use crate::time::{transmission_time, SimDuration, SimTime};
+
+/// Static configuration of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Transmission capacity in bits per second.
+    pub capacity_bps: f64,
+    /// Propagation delay to the next hop.
+    pub prop_delay: SimDuration,
+    /// Queue bound in bytes; `None` means unbounded.
+    pub queue_bytes: Option<u64>,
+    /// Whether to record busy intervals (costs memory on long runs).
+    pub record_busy: bool,
+}
+
+impl LinkConfig {
+    /// A link with the given capacity (bits/s) and propagation delay,
+    /// an unbounded queue, and busy-interval recording enabled.
+    pub fn new(capacity_bps: f64, prop_delay: SimDuration) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive"
+        );
+        LinkConfig {
+            capacity_bps,
+            prop_delay,
+            queue_bytes: None,
+            record_busy: true,
+        }
+    }
+
+    /// Sets the queue bound in bytes.
+    pub fn with_queue_bytes(mut self, bytes: u64) -> Self {
+        self.queue_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the queue bound in packets of the given size.
+    pub fn with_queue_packets(mut self, packets: u64, packet_size: u32) -> Self {
+        self.queue_bytes = Some(packets * packet_size as u64);
+        self
+    }
+
+    /// Disables busy-interval recording.
+    pub fn without_recording(mut self) -> Self {
+        self.record_busy = false;
+        self
+    }
+}
+
+/// Packet/byte counters of one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Packets fully transmitted.
+    pub forwarded_pkts: u64,
+    /// Bytes fully transmitted.
+    pub forwarded_bytes: u64,
+    /// Packets dropped at the queue tail.
+    pub dropped_pkts: u64,
+    /// Bytes dropped at the queue tail.
+    pub dropped_bytes: u64,
+}
+
+/// Merged busy intervals of a link: `(start, end)` pairs in nanoseconds,
+/// non-overlapping and sorted. Back-to-back transmissions coalesce.
+#[derive(Debug, Clone, Default)]
+pub struct BusyLog {
+    intervals: Vec<(u64, u64)>,
+}
+
+impl BusyLog {
+    /// Appends a busy interval, merging with the previous one when they
+    /// touch. Intervals must be appended in non-decreasing start order.
+    pub fn push(&mut self, start: SimTime, end: SimTime) {
+        let (s, e) = (start.as_nanos(), end.as_nanos());
+        debug_assert!(s <= e, "busy interval ends before it starts");
+        if let Some(last) = self.intervals.last_mut() {
+            debug_assert!(s >= last.0, "busy intervals out of order");
+            if s <= last.1 {
+                last.1 = last.1.max(e);
+                return;
+            }
+        }
+        self.intervals.push((s, e));
+    }
+
+    /// The merged `(start_ns, end_ns)` intervals.
+    pub fn intervals(&self) -> &[(u64, u64)] {
+        &self.intervals
+    }
+
+    /// Total recorded busy time.
+    pub fn total_busy(&self) -> SimDuration {
+        SimDuration::from_nanos(self.intervals.iter().map(|(s, e)| e - s).sum())
+    }
+}
+
+/// The result of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The packet was queued (or went straight into service); when
+    /// `starts_service` the caller must schedule the transmission
+    /// completion returned by [`Link::start_transmission`].
+    Accepted { starts_service: bool },
+    /// The queue was full; the packet was dropped.
+    Dropped,
+}
+
+/// A store-and-forward link.
+#[derive(Debug)]
+pub struct Link {
+    config: LinkConfig,
+    queue: VecDeque<Packet>,
+    queued_bytes: u64,
+    /// Set while a packet is being serialised onto the wire.
+    transmitting: bool,
+    tx_started_at: SimTime,
+    counters: LinkCounters,
+    busy: BusyLog,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            transmitting: false,
+            tx_started_at: SimTime::ZERO,
+            counters: LinkCounters::default(),
+            busy: BusyLog::default(),
+        }
+    }
+
+    /// Link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Capacity in bits per second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.config.capacity_bps
+    }
+
+    /// Propagation delay to the next hop.
+    pub fn prop_delay(&self) -> SimDuration {
+        self.config.prop_delay
+    }
+
+    /// Counters snapshot.
+    pub fn counters(&self) -> LinkCounters {
+        self.counters
+    }
+
+    /// Recorded busy intervals (empty when recording is disabled).
+    pub fn busy_log(&self) -> &BusyLog {
+        &self.busy
+    }
+
+    /// Bytes currently waiting (not counting the packet in service).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Packets currently waiting (not counting the packet in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True while a packet is on the wire.
+    pub fn is_transmitting(&self) -> bool {
+        self.transmitting
+    }
+
+    /// Offers a packet to the link at time `now`.
+    ///
+    /// On `Accepted { starts_service: true }` the caller must immediately
+    /// call [`Link::start_transmission`] and schedule its completion.
+    pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> EnqueueOutcome {
+        if let Some(limit) = self.config.queue_bytes {
+            // The byte bound applies once the system holds a packet; an idle
+            // link always accepts, so a packet larger than the bound can
+            // still cross it.
+            if !self.queue.is_empty() && self.queued_bytes + packet.size as u64 > limit {
+                self.counters.dropped_pkts += 1;
+                self.counters.dropped_bytes += packet.size as u64;
+                return EnqueueOutcome::Dropped;
+            }
+        }
+        self.queued_bytes += packet.size as u64;
+        self.queue.push_back(packet);
+        EnqueueOutcome::Accepted {
+            starts_service: !self.transmitting,
+        }
+    }
+
+    /// Begins serialising the head-of-line packet at `now`; returns the
+    /// time the last bit leaves the interface.
+    ///
+    /// Panics when the queue is empty or a transmission is in progress —
+    /// both indicate an event-loop bug.
+    pub fn start_transmission(&mut self, now: SimTime) -> SimTime {
+        assert!(!self.transmitting, "link already transmitting");
+        let head = self.queue.front().expect("start_transmission on empty queue");
+        self.transmitting = true;
+        self.tx_started_at = now;
+        now + transmission_time(head.size, self.config.capacity_bps)
+    }
+
+    /// Completes the in-progress transmission at `now`, returning the
+    /// transmitted packet. The caller forwards it and, when the return
+    /// value's `next_starts_service` is true, schedules the next
+    /// completion via [`Link::start_transmission`].
+    pub fn finish_transmission(&mut self, now: SimTime) -> (Packet, bool) {
+        assert!(self.transmitting, "no transmission in progress");
+        self.transmitting = false;
+        let packet = self
+            .queue
+            .pop_front()
+            .expect("transmission finished on empty queue");
+        self.queued_bytes -= packet.size as u64;
+        self.counters.forwarded_pkts += 1;
+        self.counters.forwarded_bytes += packet.size as u64;
+        if self.config.record_busy {
+            self.busy.push(self.tx_started_at, now);
+        }
+        (packet, !self.queue.is_empty())
+    }
+
+    /// Instantaneous queueing delay a newly arriving packet would see:
+    /// remaining service time of the packet on the wire plus serialisation
+    /// of everything queued behind it.
+    pub fn queueing_delay(&self, now: SimTime) -> SimDuration {
+        let mut ns = 0u64;
+        if self.transmitting {
+            let head = self.queue.front().expect("transmitting without head");
+            let done = self.tx_started_at + transmission_time(head.size, self.config.capacity_bps);
+            ns += done.saturating_since(now).as_nanos();
+            for p in self.queue.iter().skip(1) {
+                ns += transmission_time(p.size, self.config.capacity_bps).as_nanos();
+            }
+        } else {
+            for p in self.queue.iter() {
+                ns += transmission_time(p.size, self.config.capacity_bps).as_nanos();
+            }
+        }
+        SimDuration::from_nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{AgentId, FlowId, PacketKind, PathId, DEFAULT_TTL};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(0),
+            src: AgentId(0),
+            dst: AgentId(1),
+            path: PathId(0),
+            hop: 0,
+            size,
+            seq: 0,
+            sent_at: SimTime::ZERO,
+            ttl: DEFAULT_TTL,
+            kind: PacketKind::Data,
+        }
+    }
+
+    fn test_link() -> Link {
+        // 12 Mb/s: a 1500 B packet takes exactly 1 ms
+        Link::new(LinkConfig::new(12e6, SimDuration::from_millis(1)))
+    }
+
+    #[test]
+    fn single_packet_service() {
+        let mut l = test_link();
+        let t0 = SimTime::ZERO;
+        match l.enqueue(pkt(1500), t0) {
+            EnqueueOutcome::Accepted { starts_service } => assert!(starts_service),
+            _ => panic!("accept expected"),
+        }
+        let done = l.start_transmission(t0);
+        assert_eq!(done, SimTime::from_nanos(1_000_000));
+        let (p, more) = l.finish_transmission(done);
+        assert_eq!(p.size, 1500);
+        assert!(!more);
+        assert_eq!(l.counters().forwarded_pkts, 1);
+        assert_eq!(l.busy_log().total_busy(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn fifo_order_and_backlog() {
+        let mut l = test_link();
+        let t0 = SimTime::ZERO;
+        let mut a = pkt(1500);
+        a.seq = 1;
+        let mut b = pkt(1500);
+        b.seq = 2;
+        assert_eq!(
+            l.enqueue(a, t0),
+            EnqueueOutcome::Accepted {
+                starts_service: true
+            }
+        );
+        let done1 = l.start_transmission(t0);
+        assert_eq!(
+            l.enqueue(b, t0),
+            EnqueueOutcome::Accepted {
+                starts_service: false
+            }
+        );
+        let (p1, more) = l.finish_transmission(done1);
+        assert_eq!(p1.seq, 1);
+        assert!(more);
+        let done2 = l.start_transmission(done1);
+        let (p2, more) = l.finish_transmission(done2);
+        assert_eq!(p2.seq, 2);
+        assert!(!more);
+        // back-to-back transmissions merge into one busy interval
+        assert_eq!(l.busy_log().intervals().len(), 1);
+        assert_eq!(l.busy_log().total_busy(), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn drop_tail() {
+        let cfg = LinkConfig::new(12e6, SimDuration::ZERO).with_queue_bytes(3000);
+        let mut l = Link::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert!(matches!(
+            l.enqueue(pkt(1500), t0),
+            EnqueueOutcome::Accepted { .. }
+        ));
+        l.start_transmission(t0);
+        assert!(matches!(
+            l.enqueue(pkt(1500), t0),
+            EnqueueOutcome::Accepted { .. }
+        ));
+        // third packet exceeds the 3000 B bound
+        assert_eq!(l.enqueue(pkt(1500), t0), EnqueueOutcome::Dropped);
+        assert_eq!(l.counters().dropped_pkts, 1);
+        assert_eq!(l.counters().dropped_bytes, 1500);
+    }
+
+    #[test]
+    fn queueing_delay_accumulates() {
+        let mut l = test_link();
+        let t0 = SimTime::ZERO;
+        assert_eq!(l.queueing_delay(t0), SimDuration::ZERO);
+        l.enqueue(pkt(1500), t0);
+        l.start_transmission(t0);
+        l.enqueue(pkt(1500), t0);
+        // one full packet on the wire + one queued = 2 ms
+        assert_eq!(l.queueing_delay(t0), SimDuration::from_millis(2));
+        // halfway through the first transmission: 1.5 ms remain
+        let mid = t0 + SimDuration::from_micros(500);
+        assert_eq!(l.queueing_delay(mid), SimDuration::from_micros(1500));
+    }
+
+    #[test]
+    fn busy_log_merges_only_contiguous() {
+        let mut log = BusyLog::default();
+        log.push(SimTime::from_nanos(0), SimTime::from_nanos(10));
+        log.push(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        log.push(SimTime::from_nanos(30), SimTime::from_nanos(40));
+        assert_eq!(log.intervals(), &[(0, 20), (30, 40)]);
+        assert_eq!(log.total_busy(), SimDuration::from_nanos(30));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_start_panics() {
+        let mut l = test_link();
+        l.enqueue(pkt(100), SimTime::ZERO);
+        l.start_transmission(SimTime::ZERO);
+        l.start_transmission(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,96 @@
+//! Autocovariance and autocorrelation of a sampled process.
+//!
+//! The rate at which `Var[A_tau]` decays with `tau` is set by the
+//! correlation structure of the avail-bw process (paper §1); these helpers
+//! let experiments and the trace substrate report that structure directly.
+
+/// Sample autocovariance at the given lag (biased, `1/n` normalisation).
+///
+/// Returns `None` when the lag leaves fewer than 2 overlapping points.
+pub fn autocovariance(series: &[f64], lag: usize) -> Option<f64> {
+    let n = series.len();
+    if lag + 2 > n {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let sum: f64 = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(&a, &b)| (a - mean) * (b - mean))
+        .sum();
+    Some(sum / n as f64)
+}
+
+/// Sample autocorrelation at the given lag, in `[-1, 1]`.
+///
+/// Returns `None` for degenerate inputs (constant series or too-large lag).
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    let c0 = autocovariance(series, 0)?;
+    if c0 == 0.0 {
+        return None;
+    }
+    Some(autocovariance(series, lag)? / c0)
+}
+
+/// Autocorrelation function for lags `0..=max_lag` (shorter if the series
+/// runs out).
+pub fn acf(series: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag)
+        .map_while(|lag| autocorrelation(series, lag))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn lag_zero_is_one() {
+        let s = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert!((autocorrelation(&s, 0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_uncorrelated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
+        for lag in [1, 5, 20] {
+            let r = autocorrelation(&s, lag).unwrap();
+            assert!(r.abs() < 0.02, "lag {lag}: {r}");
+        }
+    }
+
+    #[test]
+    fn ar1_has_geometric_acf() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let phi = 0.8;
+        let mut x = 0.0;
+        let s: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = phi * x + (rng.random::<f64>() - 0.5);
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&s, 1).unwrap();
+        let r2 = autocorrelation(&s, 2).unwrap();
+        assert!((r1 - phi).abs() < 0.02, "r1 = {r1}");
+        assert!((r2 - phi * phi).abs() < 0.03, "r2 = {r2}");
+    }
+
+    #[test]
+    fn degenerate() {
+        assert!(autocovariance(&[1.0], 0).is_none());
+        assert!(autocorrelation(&[3.0, 3.0, 3.0], 1).is_none());
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_none());
+    }
+
+    #[test]
+    fn acf_truncates() {
+        let s = [1.0, 2.0, 1.5, 2.5];
+        let a = acf(&s, 10);
+        assert!(a.len() <= 4);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+    }
+}

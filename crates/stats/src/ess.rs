@@ -1,0 +1,123 @@
+//! Effective sample size for correlated avail-bw samples.
+//!
+//! Equation 11 of the paper — `Var[m_A(k)] = Var[A_tau]/k` — assumes the
+//! `k` samples are *independent*. Probing streams sent close together
+//! sample a correlated process, so the variance of their mean shrinks
+//! slower than `1/k`; the honest divisor is the **effective sample
+//! size**
+//!
+//! ```text
+//! ESS = k / (1 + 2 * sum_{j>=1} rho_j)
+//! ```
+//!
+//! with `rho_j` the lag-`j` autocorrelation of the sample sequence.
+//! Tool comparisons that count raw samples (Pitfall 1) overstate their
+//! confidence exactly by the `k / ESS` factor.
+
+use crate::autocorr::autocorrelation;
+
+/// Effective sample size of a sample sequence, via the initial positive
+/// sequence estimator: autocorrelations are summed over increasing lags
+/// until the first non-positive one (the standard truncation that keeps
+/// the estimator stable on finite data).
+///
+/// Returns `None` for sequences shorter than 3 or with zero variance.
+pub fn effective_sample_size(samples: &[f64]) -> Option<f64> {
+    let n = samples.len();
+    if n < 3 {
+        return None;
+    }
+    let mut rho_sum = 0.0;
+    for lag in 1..(n - 2) {
+        match autocorrelation(samples, lag) {
+            Some(r) if r > 0.0 => rho_sum += r,
+            _ => break,
+        }
+    }
+    let ess = n as f64 / (1.0 + 2.0 * rho_sum);
+    Some(ess.clamp(1.0, n as f64))
+}
+
+/// The variance of the sample mean, corrected for correlation:
+/// `Var[A_tau] / ESS` instead of Equation 11's `Var[A_tau] / k`.
+///
+/// Returns `None` when the ESS is undefined.
+pub fn corrected_mean_variance(samples: &[f64]) -> Option<f64> {
+    let ess = effective_sample_size(samples)?;
+    let r = crate::running::Running::from_samples(samples);
+    Some(r.variance() / ess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn iid_samples_have_full_ess() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.random::<f64>()).collect();
+        let ess = effective_sample_size(&xs).unwrap();
+        assert!(
+            ess > 0.8 * xs.len() as f64,
+            "IID ESS should be near n: {ess} of {}",
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn correlated_samples_have_reduced_ess() {
+        // AR(1) with phi = 0.9: theoretical ESS ratio = (1-phi)/(1+phi) ≈ 0.053
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..20000)
+            .map(|_| {
+                x = 0.9 * x + (rng.random::<f64>() - 0.5);
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&xs).unwrap();
+        let ratio = ess / xs.len() as f64;
+        assert!(
+            (0.02..0.12).contains(&ratio),
+            "AR(1) phi=0.9 ESS ratio {ratio}, theory ~0.053"
+        );
+    }
+
+    #[test]
+    fn corrected_variance_exceeds_naive_for_correlated_data() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| {
+                x = 0.8 * x + (rng.random::<f64>() - 0.5);
+                x
+            })
+            .collect();
+        let corrected = corrected_mean_variance(&xs).unwrap();
+        let naive = crate::running::Running::from_samples(&xs).variance() / xs.len() as f64;
+        assert!(
+            corrected > 3.0 * naive,
+            "corrected {corrected} should exceed naive {naive} several-fold"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(effective_sample_size(&[1.0, 2.0]).is_none());
+        // constant series: autocorrelation undefined, rho sum 0 → ESS = n
+        let ess = effective_sample_size(&[5.0; 10]).unwrap();
+        assert_eq!(ess, 10.0);
+    }
+
+    #[test]
+    fn ess_bounded_by_n() {
+        // alternating series has negative lag-1 correlation; ESS is
+        // clamped to at most n (the IPS estimator stops at the first
+        // non-positive autocorrelation)
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ess = effective_sample_size(&xs).unwrap();
+        assert!(ess <= 100.0 && ess >= 1.0);
+    }
+}

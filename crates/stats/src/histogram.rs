@@ -1,0 +1,139 @@
+//! Fixed-bin histograms for distribution reporting in experiment output.
+
+/// A histogram with uniform-width bins over `[lo, hi)` plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins spanning `[lo, hi)`.
+    ///
+    /// Panics when `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // float rounding at the upper edge can land on len(); clamp.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+    }
+
+    /// Iterator over `(bin_center, fraction_of_total)` pairs.
+    pub fn normalized(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let total = self.count.max(1) as f64;
+        self.iter().map(move |(x, c)| (x, c as f64 / total))
+    }
+
+    /// Bin center with the largest count, `None` when empty.
+    pub fn mode(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        self.iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(center, _)| center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-1.0);
+        h.push(0.0);
+        h.push(5.5);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(42.0);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        let counts: Vec<u64> = h.iter().map(|(_, c)| c).collect();
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[5], 1);
+        assert_eq!(counts[9], 1);
+    }
+
+    #[test]
+    fn normalized_sums_below_one_with_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..8 {
+            h.push(i as f64 / 8.0);
+        }
+        h.push(5.0);
+        let total: f64 = h.normalized().map(|(_, f)| f).sum();
+        assert!((total - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_detection() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.push(0.5);
+        h.push(1.5);
+        h.push(1.6);
+        assert_eq!(h.mode(), Some(1.5));
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.mode(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

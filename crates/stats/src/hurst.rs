@@ -1,0 +1,142 @@
+//! Hurst parameter estimation.
+//!
+//! The synthetic trace substrate (standing in for the paper's NLANR trace)
+//! should exhibit long-range dependence; these estimators verify that, and
+//! let experiments report how close the trace's variance decay is to
+//! Equation 5's self-similar law.
+
+use crate::regression::linear_fit;
+use crate::timescale::variance_time;
+
+/// Estimates the Hurst parameter with the variance-time method.
+///
+/// Fits `log Var[A^{(k)}]` against `log k` over the given aggregation
+/// levels; the slope `s` relates to Hurst via `H = 1 + s/2` (Equation 5).
+/// Returns `None` when fewer than 3 levels produce a variance, or when a
+/// level's variance is zero (log undefined).
+pub fn variance_time_hurst(series: &[f64], levels: &[usize]) -> Option<f64> {
+    let vt = variance_time(series, levels);
+    if vt.len() < 3 {
+        return None;
+    }
+    let mut xs = Vec::with_capacity(vt.len());
+    let mut ys = Vec::with_capacity(vt.len());
+    for (k, v) in vt {
+        if v <= 0.0 {
+            return None;
+        }
+        xs.push((k as f64).ln());
+        ys.push(v.ln());
+    }
+    let fit = linear_fit(&xs, &ys)?;
+    Some(1.0 + fit.slope / 2.0)
+}
+
+/// Estimates the Hurst parameter with the rescaled-range (R/S) method.
+///
+/// Computes `E[R/S]` over blocks of each size in `block_sizes` and fits
+/// `log(R/S)` against `log(block size)`; the slope is the Hurst estimate.
+/// Returns `None` when fewer than 3 block sizes are usable.
+pub fn rescaled_range_hurst(series: &[f64], block_sizes: &[usize]) -> Option<f64> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in block_sizes {
+        if n < 4 || n > series.len() {
+            continue;
+        }
+        let mut rs_values = Vec::new();
+        for block in series.chunks_exact(n) {
+            if let Some(rs) = rescaled_range(block) {
+                rs_values.push(rs);
+            }
+        }
+        if rs_values.is_empty() {
+            continue;
+        }
+        let mean_rs = rs_values.iter().sum::<f64>() / rs_values.len() as f64;
+        if mean_rs <= 0.0 {
+            continue;
+        }
+        xs.push((n as f64).ln());
+        ys.push(mean_rs.ln());
+    }
+    if xs.len() < 3 {
+        return None;
+    }
+    linear_fit(&xs, &ys).map(|f| f.slope)
+}
+
+/// R/S statistic of one block: range of the mean-adjusted cumulative sum
+/// divided by the block standard deviation. `None` when the deviation is 0.
+fn rescaled_range(block: &[f64]) -> Option<f64> {
+    let n = block.len() as f64;
+    let mean = block.iter().sum::<f64>() / n;
+    let mut cum = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut var = 0.0;
+    for &x in block {
+        cum += x - mean;
+        min = min.min(cum);
+        max = max.max(cum);
+        var += (x - mean) * (x - mean);
+    }
+    let sd = (var / n).sqrt();
+    if sd == 0.0 {
+        None
+    } else {
+        Some((max - min) / sd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn white_noise_hurst_near_half() {
+        let s = white_noise(1 << 16, 9);
+        let h = variance_time_hurst(&s, &[1, 2, 4, 8, 16, 32, 64, 128]).unwrap();
+        assert!((h - 0.5).abs() < 0.1, "H = {h}");
+    }
+
+    #[test]
+    fn rs_white_noise_near_half() {
+        let s = white_noise(1 << 15, 21);
+        let h = rescaled_range_hurst(&s, &[16, 32, 64, 128, 256, 512]).unwrap();
+        // R/S is biased upward on short blocks; accept a loose band
+        assert!((0.4..0.75).contains(&h), "H = {h}");
+    }
+
+    #[test]
+    fn persistent_series_has_high_hurst() {
+        // A random walk's increments aggregated with strong positive
+        // correlation: x_t = 0.95 x_{t-1} + noise gives slowly decaying
+        // variance, i.e. a variance-time H well above 0.5.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = 0.0;
+        let s: Vec<f64> = (0..(1 << 16))
+            .map(|_| {
+                x = 0.95 * x + (rng.random::<f64>() - 0.5);
+                x
+            })
+            .collect();
+        let h = variance_time_hurst(&s, &[1, 2, 4, 8, 16]).unwrap();
+        assert!(h > 0.8, "H = {h}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(variance_time_hurst(&[1.0, 2.0], &[1, 2, 4]).is_none());
+        let constant = vec![5.0; 1024];
+        assert!(variance_time_hurst(&constant, &[1, 2, 4, 8]).is_none());
+        assert!(rescaled_range_hurst(&constant, &[8, 16, 32]).is_none());
+    }
+}

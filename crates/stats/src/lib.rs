@@ -1,0 +1,37 @@
+//! # abw-stats
+//!
+//! Statistics substrate for end-to-end available bandwidth (avail-bw)
+//! estimation, as required by the experiments in *"Ten Fallacies and Pitfalls
+//! on End-to-End Available Bandwidth Estimation"* (Jain & Dovrolis, IMC 2004).
+//!
+//! The paper's central statistical points are:
+//!
+//! * the avail-bw is a **random process** `A_tau(t)` whose variance depends on
+//!   the averaging timescale `tau` ([`timescale`]),
+//! * a finite number of samples gives a **sample mean** whose error is
+//!   governed by the population variance ([`running`], [`sampling`]),
+//! * one-way-delay (OWD) series carry more information than the single
+//!   `Ro/Ri` ratio, and can be analysed with **trend statistics** ([`trend`]).
+//!
+//! Everything in this crate is deterministic given an RNG and allocation-light;
+//! it has no dependency on the simulator so it can be reused on real
+//! measurement data.
+
+pub mod autocorr;
+pub mod ecdf;
+pub mod ess;
+pub mod histogram;
+pub mod hurst;
+pub mod regression;
+pub mod running;
+pub mod sampling;
+pub mod timescale;
+pub mod trend;
+
+pub use ecdf::Ecdf;
+pub use ess::{corrected_mean_variance, effective_sample_size};
+pub use histogram::Histogram;
+pub use regression::{linear_fit, LinearFit};
+pub use running::{Running, Summary};
+pub use sampling::{poisson_instants, relative_error};
+pub use trend::{pct, pdt, TrendVerdict, TrendAnalyzer};

@@ -1,0 +1,123 @@
+//! Ordinary least squares line fitting.
+//!
+//! Used by TOPP's turning-point search (regression of `Ri/Ro` against `Ri`),
+//! by the variance-time Hurst estimator, and by OWD trend slope estimation.
+
+/// Result of a least-squares line fit `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = a*x + b` by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given, when the slices have
+/// different lengths, or when all `x` are identical (vertical line).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mean_x;
+        let dy = yi - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 {
+        1.0 // all y equal: the horizontal fit is exact
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+        n: x.len(),
+    })
+}
+
+/// Fits a line to `(index, y)` pairs, i.e. `x = 0, 1, 2, ...`.
+///
+/// Convenience for OWD series, where the x axis is the packet number.
+pub fn linear_fit_indexed(y: &[f64]) -> Option<LinearFit> {
+    let x: Vec<f64> = (0..y.len()).map(|i| i as f64).collect();
+    linear_fit(&x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_line() {
+        let f = linear_fit(&[0.0, 1.0, 2.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        // y = 0.5x + 2 with deterministic "noise"
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&xi| 0.5 * xi + 2.0 + 0.3 * (xi * 1.7).sin())
+            .collect();
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 0.5).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn indexed_matches_explicit() {
+        let y = [2.0, 2.5, 3.1, 3.4];
+        let a = linear_fit_indexed(&y).unwrap();
+        let b = linear_fit(&[0.0, 1.0, 2.0, 3.0], &y).unwrap();
+        assert_eq!(a, b);
+    }
+}

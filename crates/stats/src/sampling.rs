@@ -1,0 +1,125 @@
+//! Poisson sampling of a time process, and sample-mean error helpers.
+//!
+//! Pitfall 1 of the paper: with `k` independent samples of the avail-bw
+//! process, the variance of the sample mean is `Var[A_tau] / k`
+//! (Equation 11) — so comparing tools that use different `k` or different
+//! `tau` is meaningless. These helpers generate the Poisson sampling
+//! instants used by the Figure 1 experiment and by Spruce's pair spacing.
+
+use rand::{Rng, RngExt};
+
+/// Draws an exponentially distributed variate with the given `mean` via
+/// inverse-transform sampling.
+///
+/// Panics in debug builds when `mean` is not positive.
+pub fn exp_variate<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0, "exponential mean must be positive");
+    // u in (0, 1]: guard against ln(0).
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+/// Generates `k` Poisson (exponentially spaced) sampling instants inside
+/// `[start, end)`, with mean gap `(end - start) / k`.
+///
+/// Instants that would fall beyond `end` wrap around to the beginning, so
+/// exactly `k` instants are always returned (the process is assumed
+/// stationary, so wrapping does not bias the sample). Returned instants are
+/// not sorted.
+pub fn poisson_instants<R: Rng + ?Sized>(rng: &mut R, start: f64, end: f64, k: usize) -> Vec<f64> {
+    assert!(end > start, "empty sampling window");
+    let span = end - start;
+    let mean_gap = span / k as f64;
+    let mut t = start + exp_variate(rng, mean_gap);
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        while t >= end {
+            t -= span;
+        }
+        out.push(t);
+        t += exp_variate(rng, mean_gap);
+    }
+    out
+}
+
+/// Relative error `(estimate - truth) / truth`.
+///
+/// Returns NaN when `truth` is zero.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        f64::NAN
+    } else {
+        (estimate - truth) / truth
+    }
+}
+
+/// Mean of the absolute relative errors of a set of estimates against a
+/// single ground truth. Returns NaN for an empty set or zero truth.
+pub fn mean_abs_relative_error(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() || truth == 0.0 {
+        return f64::NAN;
+    }
+    estimates
+        .iter()
+        .map(|&e| relative_error(e, truth).abs())
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_variate_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| exp_variate(&mut rng, 2.5)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 2.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn exp_variate_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(exp_variate(&mut rng, 0.001) > 0.0);
+        }
+    }
+
+    #[test]
+    fn instants_in_window() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts = poisson_instants(&mut rng, 10.0, 20.0, 50);
+        assert_eq!(pts.len(), 50);
+        for &t in &pts {
+            assert!((10.0..20.0).contains(&t), "instant {t} out of window");
+        }
+    }
+
+    #[test]
+    fn instants_cover_window() {
+        // with many samples, instants should spread over the whole window
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = poisson_instants(&mut rng, 0.0, 1.0, 1000);
+        let lo = pts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = pts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < 0.05 && hi > 0.95);
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        assert!((relative_error(12.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(8.0, 10.0) + 0.2).abs() < 1e-12);
+        assert!(relative_error(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn mean_abs_err() {
+        let v = mean_abs_relative_error(&[11.0, 9.0], 10.0);
+        assert!((v - 0.1).abs() < 1e-12);
+        assert!(mean_abs_relative_error(&[], 10.0).is_nan());
+    }
+}

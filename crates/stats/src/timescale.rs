@@ -1,0 +1,101 @@
+//! Variance versus averaging timescale.
+//!
+//! The paper's definitions section stresses that `Var[A_tau]` decreases with
+//! the averaging timescale `tau`, and that the *rate* of decrease depends on
+//! the correlation structure: `1/k` for IID (Equation 4) and `1/k^{2(1-H)}`
+//! for an exactly self-similar process with Hurst parameter `H`
+//! (Equation 5). This module computes variance-time tables from a sampled
+//! series and provides the two reference decay laws.
+
+use crate::running::Running;
+
+/// Variance of the process aggregated at multiples of the base timescale.
+///
+/// Given a series sampled at a base timescale (each element is the process
+/// averaged over one base interval), returns `(k, Var[A_{k*tau}])` for each
+/// requested aggregation level `k`: the series is partitioned into blocks of
+/// `k`, each block is averaged, and the variance of the block means is
+/// reported. Levels with fewer than 2 complete blocks are skipped.
+pub fn variance_time(series: &[f64], levels: &[usize]) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for &k in levels {
+        if k == 0 {
+            continue;
+        }
+        let mut r = Running::new();
+        for block in series.chunks_exact(k) {
+            r.push(block.iter().sum::<f64>() / k as f64);
+        }
+        if r.count() >= 2 {
+            out.push((k, r.population_variance()));
+        }
+    }
+    out
+}
+
+/// Equation 4: variance of an IID process at aggregation level `k`.
+pub fn iid_decay(base_variance: f64, k: f64) -> f64 {
+    base_variance / k
+}
+
+/// Equation 5: variance of an exactly self-similar process with Hurst
+/// parameter `h` at aggregation level `k`.
+///
+/// For `h = 0.5` this coincides with the IID decay.
+pub fn self_similar_decay(base_variance: f64, k: f64, h: f64) -> f64 {
+    base_variance / k.powf(2.0 * (1.0 - h))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn variance_decreases_with_aggregation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let series: Vec<f64> = (0..100_000).map(|_| rng.random::<f64>()).collect();
+        let vt = variance_time(&series, &[1, 2, 4, 8, 16, 32]);
+        assert_eq!(vt.len(), 6);
+        for w in vt.windows(2) {
+            assert!(w[1].1 < w[0].1, "variance must shrink with aggregation");
+        }
+    }
+
+    #[test]
+    fn iid_series_follows_equation_4() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let series: Vec<f64> = (0..200_000).map(|_| rng.random::<f64>()).collect();
+        let vt = variance_time(&series, &[1, 10, 100]);
+        let base = vt[0].1;
+        for &(k, v) in &vt[1..] {
+            let expected = iid_decay(base, k as f64);
+            let ratio = v / expected;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "level {k}: measured {v}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_similar_decay_slower_than_iid() {
+        let base = 4.0;
+        for k in [2.0, 8.0, 64.0] {
+            assert!(self_similar_decay(base, k, 0.9) > iid_decay(base, k));
+            // H = 0.5 reduces to IID
+            let d = self_similar_decay(base, k, 0.5);
+            assert!((d - iid_decay(base, k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skips_degenerate_levels() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        // level 3 leaves one complete block; level 0 is invalid
+        let vt = variance_time(&series, &[0, 3, 2]);
+        assert_eq!(vt.len(), 1);
+        assert_eq!(vt[0].0, 2);
+    }
+}

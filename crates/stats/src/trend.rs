@@ -1,0 +1,257 @@
+//! One-way-delay (OWD) trend statistics.
+//!
+//! Implements the Pairwise Comparison Test (PCT) and Pairwise Difference Test
+//! (PDT) used by Pathload (Jain & Dovrolis, ToN 2003) to decide whether the
+//! OWDs of a probing stream have an increasing trend — i.e. whether the
+//! probing rate exceeded the avail-bw.
+//!
+//! The paper's Fallacy 8 ("increasing OWDs is equivalent to `Ro < Ri`") is
+//! demonstrated with exactly these statistics: a stream can have `Ro < Ri`
+//! because of a single cross-traffic burst while PCT/PDT correctly report *no
+//! trend* (Figure 5).
+
+/// Outcome of a trend test on an OWD series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendVerdict {
+    /// The OWDs show a clear increasing trend (probing rate above avail-bw).
+    Increasing,
+    /// The OWDs show no increasing trend (probing rate at or below avail-bw).
+    NoTrend,
+    /// The statistics disagree or fall between thresholds.
+    Ambiguous,
+}
+
+/// Pairwise Comparison Test statistic.
+///
+/// Fraction of consecutive OWD pairs that are strictly increasing. For an
+/// independent series the expectation is 0.5; for a strongly increasing
+/// series it approaches 1.
+///
+/// Returns 0.5 (the "no information" value) for series shorter than 2.
+pub fn pct(owds: &[f64]) -> f64 {
+    if owds.len() < 2 {
+        return 0.5;
+    }
+    let inc = owds.windows(2).filter(|w| w[1] > w[0]).count();
+    inc as f64 / (owds.len() - 1) as f64
+}
+
+/// Pairwise Difference Test statistic.
+///
+/// Net OWD change normalised by total variation:
+/// `(D_n - D_1) / sum |D_{k+1} - D_k|`, in `[-1, 1]`. A monotonically
+/// increasing series gives exactly 1; an independent series gives ~0.
+///
+/// Returns 0.0 for series shorter than 2 or with zero total variation.
+pub fn pdt(owds: &[f64]) -> f64 {
+    if owds.len() < 2 {
+        return 0.0;
+    }
+    let total_variation: f64 = owds.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    if total_variation == 0.0 {
+        return 0.0;
+    }
+    // mathematically in [-1, 1]; clamp away float-rounding excursions
+    ((owds[owds.len() - 1] - owds[0]) / total_variation).clamp(-1.0, 1.0)
+}
+
+/// Pathload's full trend analysis: group-median robustification followed by
+/// PCT/PDT with the thresholds from the Pathload paper.
+///
+/// ```
+/// use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
+/// let analyzer = TrendAnalyzer::default();
+/// let increasing: Vec<f64> = (0..100).map(|i| i as f64 * 1e-5).collect();
+/// assert_eq!(analyzer.classify(&increasing), TrendVerdict::Increasing);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrendAnalyzer {
+    /// PCT above this ⇒ increasing (Pathload uses 0.66).
+    pub pct_increasing: f64,
+    /// PCT below this ⇒ no trend (Pathload uses 0.54).
+    pub pct_no_trend: f64,
+    /// PDT above this ⇒ increasing (Pathload uses 0.55).
+    pub pdt_increasing: f64,
+    /// PDT below this ⇒ no trend (Pathload uses 0.45).
+    pub pdt_no_trend: f64,
+}
+
+impl Default for TrendAnalyzer {
+    fn default() -> Self {
+        TrendAnalyzer {
+            pct_increasing: 0.66,
+            pct_no_trend: 0.54,
+            pdt_increasing: 0.55,
+            pdt_no_trend: 0.45,
+        }
+    }
+}
+
+impl TrendAnalyzer {
+    /// Reduces a raw OWD series to `ceil(sqrt(n))` group medians.
+    ///
+    /// Pathload applies PCT/PDT to group medians rather than raw OWDs to
+    /// filter out per-packet measurement noise.
+    pub fn group_medians(&self, owds: &[f64]) -> Vec<f64> {
+        let n = owds.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let group = (n as f64).sqrt().round().max(1.0) as usize;
+        owds.chunks(group).map(median).collect()
+    }
+
+    /// Classifies an OWD series.
+    ///
+    /// Each of PCT and PDT votes `Increasing` / `NoTrend` / abstains; the
+    /// verdicts combine as in Pathload: if either test says `Increasing` and
+    /// the other does not say `NoTrend`, the stream is `Increasing`;
+    /// symmetrically for `NoTrend`; anything else is `Ambiguous`.
+    pub fn classify(&self, owds: &[f64]) -> TrendVerdict {
+        let medians = self.group_medians(owds);
+        if medians.len() < 3 {
+            return TrendVerdict::Ambiguous;
+        }
+        let s_pct = pct(&medians);
+        let s_pdt = pdt(&medians);
+
+        let v_pct = if s_pct > self.pct_increasing {
+            TrendVerdict::Increasing
+        } else if s_pct < self.pct_no_trend {
+            TrendVerdict::NoTrend
+        } else {
+            TrendVerdict::Ambiguous
+        };
+        let v_pdt = if s_pdt > self.pdt_increasing {
+            TrendVerdict::Increasing
+        } else if s_pdt < self.pdt_no_trend {
+            TrendVerdict::NoTrend
+        } else {
+            TrendVerdict::Ambiguous
+        };
+
+        use TrendVerdict::*;
+        match (v_pct, v_pdt) {
+            (Increasing, Increasing) => Increasing,
+            (NoTrend, NoTrend) => NoTrend,
+            (Increasing, Ambiguous) | (Ambiguous, Increasing) => Increasing,
+            (NoTrend, Ambiguous) | (Ambiguous, NoTrend) => NoTrend,
+            _ => Ambiguous,
+        }
+    }
+
+    /// Returns the raw (PCT, PDT) pair on group medians, for reporting.
+    pub fn statistics(&self, owds: &[f64]) -> (f64, f64) {
+        let medians = self.group_medians(owds);
+        (pct(&medians), pdt(&medians))
+    }
+}
+
+/// Median of a non-empty slice (averaging the two central order statistics
+/// for even lengths). Returns NaN on empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn increasing_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * 0.5).collect()
+    }
+
+    /// Deterministic pseudo-noise series with no trend.
+    fn flat_series(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 100.0 + ((i as u64 * 2654435761) % 17) as f64).collect()
+    }
+
+    #[test]
+    fn pct_extremes() {
+        assert_eq!(pct(&increasing_series(50)), 1.0);
+        let dec: Vec<f64> = (0..50).map(|i| -(i as f64)).collect();
+        assert_eq!(pct(&dec), 0.0);
+        assert_eq!(pct(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn pdt_extremes() {
+        assert!((pdt(&increasing_series(50)) - 1.0).abs() < 1e-12);
+        let dec: Vec<f64> = (0..50).map(|i| -(i as f64)).collect();
+        assert!((pdt(&dec) + 1.0).abs() < 1e-12);
+        assert_eq!(pdt(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(pdt(&[]), 0.0);
+    }
+
+    #[test]
+    fn pdt_bounded() {
+        let s = flat_series(101);
+        let v = pdt(&s);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn classify_increasing() {
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.classify(&increasing_series(100)), TrendVerdict::Increasing);
+    }
+
+    #[test]
+    fn classify_no_trend() {
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.classify(&flat_series(100)), TrendVerdict::NoTrend);
+    }
+
+    #[test]
+    fn classify_noisy_increasing() {
+        // increasing trend + bounded noise: medians should still rise
+        let s: Vec<f64> = (0..160)
+            .map(|i| i as f64 * 0.3 + ((i as u64 * 2654435761) % 13) as f64)
+            .collect();
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.classify(&s), TrendVerdict::Increasing);
+    }
+
+    #[test]
+    fn short_series_is_ambiguous() {
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.classify(&[1.0, 2.0]), TrendVerdict::Ambiguous);
+        assert_eq!(a.classify(&[]), TrendVerdict::Ambiguous);
+    }
+
+    #[test]
+    fn trailing_burst_is_not_a_trend() {
+        // Fallacy 8, Figure 5: flat OWDs with a jump in the last few packets.
+        let mut s = flat_series(144);
+        for (j, x) in s.iter_mut().rev().take(4).enumerate() {
+            *x += 40.0 + j as f64;
+        }
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.classify(&s), TrendVerdict::NoTrend);
+    }
+
+    #[test]
+    fn median_basics() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn group_medians_length() {
+        let a = TrendAnalyzer::default();
+        assert_eq!(a.group_medians(&increasing_series(100)).len(), 10);
+        assert!(a.group_medians(&[]).is_empty());
+        assert_eq!(a.group_medians(&[7.0]), vec![7.0]);
+    }
+}

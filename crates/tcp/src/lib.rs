@@ -1,0 +1,27 @@
+//! # abw-tcp
+//!
+//! A TCP Reno model running over `abw-netsim`, built for Pitfall 10 of the
+//! paper: *"evaluating the accuracy of avail-bw estimation through
+//! comparisons with bulk TCP throughput"*. Figure 7 plots the throughput
+//! of a bulk transfer against the receiver's advertised window under three
+//! cross-traffic types; reproducing it needs:
+//!
+//! * a [`sender::TcpSender`] with slow start, congestion avoidance, fast
+//!   retransmit/recovery, a retransmission timeout, and a configurable
+//!   receiver-advertised window (`Wr`, in segments),
+//! * a [`sink::TcpSink`] generating cumulative ACKs over an uncongested
+//!   reverse path,
+//! * a [`short::ShortFlowAgent`] that loops size-limited transfers with
+//!   exponential think times — an aggregate of "mice" as responsive cross
+//!   traffic.
+//!
+//! Sequence numbers are in segments (1 segment = 1 MSS on the wire), not
+//! bytes; the experiments only need packet-granularity dynamics.
+
+pub mod sender;
+pub mod short;
+pub mod sink;
+
+pub use sender::{TcpConfig, TcpSender};
+pub use short::ShortFlowAgent;
+pub use sink::TcpSink;

@@ -1,0 +1,173 @@
+//! Looping short transfers: the "aggregate of many short TCP transfers"
+//! cross traffic of Figure 7.
+//!
+//! A [`ShortFlowAgent`] embeds a TCP sender; when its size-limited
+//! transfer completes, the agent idles for an exponential think time and
+//! starts the next transfer with fresh congestion state (slow start,
+//! cwnd 1) on the same sequence space. A pool of such agents models
+//! web-like "mice" whose aggregate is congestion-responsive but
+//! individually short-lived.
+
+use abw_netsim::{Agent, AgentId, Ctx, FlowId, Packet, PathId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::sender::{TcpConfig, TcpSender};
+
+const TIMER_RESTART: u64 = 999_999;
+
+/// A TCP source that repeats size-limited transfers with exponential
+/// think times between them.
+pub struct ShortFlowAgent {
+    transfer_segments: u64,
+    mean_think: SimDuration,
+    rng: StdRng,
+    inner: TcpSender,
+    restart_pending: bool,
+    mss: u32,
+    /// Completed transfers.
+    pub completed_transfers: u64,
+}
+
+impl ShortFlowAgent {
+    /// Repeats `transfer_segments`-segment transfers over `path`, with
+    /// `Exp(mean_think)` pauses between transfers.
+    pub fn new(
+        path: PathId,
+        dst: AgentId,
+        flow: FlowId,
+        transfer_segments: u64,
+        mean_think: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(transfer_segments > 0, "empty transfer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // desynchronise the pool: the first transfer starts after one
+        // think time
+        let first_delay = exp_duration(&mut rng, mean_think);
+        let config = TcpConfig::bulk(path, dst, flow)
+            .with_limit(transfer_segments)
+            .with_start_after(first_delay);
+        let mss = config.mss;
+        ShortFlowAgent {
+            transfer_segments,
+            mean_think,
+            rng,
+            inner: TcpSender::new(config),
+            restart_pending: false,
+            mss,
+            completed_transfers: 0,
+        }
+    }
+
+    fn maybe_schedule_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if self.restart_pending || self.inner.finished_at.is_none() {
+            return;
+        }
+        self.restart_pending = true;
+        self.completed_transfers += 1;
+        let think = exp_duration(&mut self.rng, self.mean_think);
+        ctx.schedule_in(think, TIMER_RESTART);
+    }
+
+    /// Total segments acknowledged across all transfers.
+    pub fn total_acked_segments(&self) -> u64 {
+        self.inner.acked_segments
+    }
+
+    /// Mean aggregate rate this agent injected, in bits/s over `elapsed`.
+    pub fn mean_rate_bps(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.inner.acked_segments as f64 * self.mss as f64 * 8.0 / elapsed.as_secs_f64()
+    }
+}
+
+fn exp_duration(rng: &mut StdRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+}
+
+impl Agent for ShortFlowAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == TIMER_RESTART {
+            self.restart_pending = false;
+            self.inner.restart_transfer(self.transfer_segments, ctx);
+            return;
+        }
+        self.inner.on_timer(ctx, token);
+        self.maybe_schedule_restart(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        self.inner.on_packet(ctx, packet);
+        self.maybe_schedule_restart(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TcpSink;
+    use abw_netsim::{LinkConfig, SimTime, Simulator};
+
+    #[test]
+    fn short_flows_loop() {
+        let mut sim = Simulator::new();
+        let link = sim.add_link(
+            LinkConfig::new(10e6, SimDuration::from_millis(5)).with_queue_packets(64, 1500),
+        );
+        let path = sim.add_path(vec![link]);
+        let sink = sim.add_agent(Box::new(TcpSink::new(SimDuration::from_millis(5))));
+        let agent = sim.add_agent(Box::new(ShortFlowAgent::new(
+            path,
+            sink,
+            FlowId(7),
+            20,
+            SimDuration::from_millis(200),
+            3,
+        )));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        let a: &ShortFlowAgent = sim.agent(agent);
+        assert!(
+            a.completed_transfers >= 10,
+            "only {} transfers completed",
+            a.completed_transfers
+        );
+        assert!(a.total_acked_segments() >= a.completed_transfers * 20);
+    }
+
+    #[test]
+    fn pool_generates_sustained_load() {
+        let mut sim = Simulator::new();
+        let link = sim.add_link(
+            LinkConfig::new(50e6, SimDuration::from_millis(5)).with_queue_packets(128, 1500),
+        );
+        let path = sim.add_path(vec![link]);
+        let mut agents = Vec::new();
+        for i in 0..20 {
+            let sink = sim.add_agent(Box::new(TcpSink::new(SimDuration::from_millis(5))));
+            agents.push(sim.add_agent(Box::new(ShortFlowAgent::new(
+                path,
+                sink,
+                FlowId(100 + i as u32),
+                15,
+                SimDuration::from_millis(300),
+                1000 + i,
+            ))));
+        }
+        let horizon = SimDuration::from_secs(20);
+        sim.run_until(SimTime::ZERO + horizon);
+        let total: f64 = agents
+            .iter()
+            .map(|&a| sim.agent::<ShortFlowAgent>(a).mean_rate_bps(horizon))
+            .sum();
+        assert!(total > 1e6, "aggregate rate {:.2} Mb/s", total / 1e6);
+        assert!(total < 50e6);
+    }
+}

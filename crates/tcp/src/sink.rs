@@ -1,0 +1,188 @@
+//! The TCP receiver: in-order reassembly and cumulative ACKs.
+
+use std::collections::BTreeSet;
+
+use abw_netsim::{Agent, AgentId, Ctx, Packet, PacketKind, PathId, SimDuration, SimTime};
+#[cfg(test)]
+use abw_netsim::FlowId;
+
+/// A TCP receiver that acknowledges every arriving segment with a
+/// cumulative ACK sent over an uncongested reverse path.
+///
+/// The reverse-path delay models the ACK's propagation back to the sender;
+/// reverse-path congestion is out of scope for the paper's experiments
+/// (DESIGN.md §6).
+pub struct TcpSink {
+    /// Next in-order segment expected (= the cumulative ACK value).
+    expected: u64,
+    /// Out-of-order segments above `expected`.
+    out_of_order: BTreeSet<u64>,
+    ack_delay: SimDuration,
+    /// Segments received in order (duplicates not counted).
+    pub received_segments: u64,
+    /// Bytes received (payload-carrying packets only, duplicates counted).
+    pub received_bytes: u64,
+    /// Arrival time of the first data segment.
+    pub first_data: Option<SimTime>,
+    /// Arrival time of the latest data segment.
+    pub last_data: Option<SimTime>,
+}
+
+impl TcpSink {
+    /// Creates a sink whose ACKs reach the sender after `ack_delay`.
+    pub fn new(ack_delay: SimDuration) -> Self {
+        TcpSink {
+            expected: 0,
+            out_of_order: BTreeSet::new(),
+            ack_delay,
+            received_segments: 0,
+            received_bytes: 0,
+            first_data: None,
+            last_data: None,
+        }
+    }
+
+    /// The current cumulative ACK (next expected segment).
+    pub fn cumulative_ack(&self) -> u64 {
+        self.expected
+    }
+}
+
+impl Agent for TcpSink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        if packet.kind != PacketKind::TcpData {
+            return;
+        }
+        self.received_bytes += packet.size as u64;
+        if self.first_data.is_none() {
+            self.first_data = Some(ctx.now());
+        }
+        self.last_data = Some(ctx.now());
+
+        if packet.seq == self.expected {
+            self.expected += 1;
+            self.received_segments += 1;
+            // drain any contiguous out-of-order run
+            while self.out_of_order.remove(&self.expected) {
+                self.expected += 1;
+                self.received_segments += 1;
+            }
+        } else if packet.seq > self.expected && self.out_of_order.insert(packet.seq) {
+            self.received_segments += 1;
+        }
+        // duplicate/old segments still trigger a (duplicate) ACK
+
+        let ack = Packet {
+            id: 0,
+            flow: packet.flow,
+            src: AgentId(usize::MAX), // filled by send_direct
+            dst: packet.src,
+            path: PathId(0),          // unused on the direct reverse path
+            hop: 0,
+            size: 40,
+            seq: self.expected,
+            sent_at: SimTime::ZERO, // filled by send_direct
+            ttl: abw_netsim::DEFAULT_TTL,
+            kind: PacketKind::TcpAck { ack: self.expected },
+        };
+        ctx.send_direct(packet.src, ack, self.ack_delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abw_netsim::Simulator;
+
+    /// Injects a fixed sequence of segment numbers at 1 ms intervals.
+    struct Feeder {
+        to: AgentId,
+        seqs: Vec<u64>,
+        next: usize,
+    }
+    impl Agent for Feeder {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.schedule_in(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+            if self.next >= self.seqs.len() {
+                return;
+            }
+            let seq = self.seqs[self.next];
+            self.next += 1;
+            let p = Packet {
+                id: 0,
+                flow: FlowId(1),
+                src: AgentId(usize::MAX),
+                dst: self.to,
+                path: PathId(0),
+                hop: 0,
+                size: 1500,
+                seq,
+                sent_at: SimTime::ZERO,
+                ttl: abw_netsim::DEFAULT_TTL,
+                kind: PacketKind::TcpData,
+            };
+            ctx.send_direct(self.to, p, SimDuration::ZERO);
+            ctx.schedule_in(SimDuration::from_millis(1), 0);
+        }
+    }
+
+    fn run(seqs: Vec<u64>) -> (Vec<u64>, u64) {
+        let mut sim = Simulator::new();
+        let sink = sim.add_agent(Box::new(TcpSink::new(SimDuration::from_millis(5))));
+        // send_direct stamps packet.src with the feeder's id, so the
+        // sink's ACKs come back to the feeder itself.
+        struct FeederWithAcks {
+            inner: Feeder,
+            acks: Vec<u64>,
+        }
+        impl Agent for FeederWithAcks {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                self.inner.on_start(ctx);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+                self.inner.on_timer(ctx, t);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, p: Packet) {
+                if let PacketKind::TcpAck { ack } = p.kind {
+                    self.acks.push(ack);
+                }
+            }
+        }
+        let feeder = sim.add_agent(Box::new(FeederWithAcks {
+            inner: Feeder {
+                to: sink,
+                seqs,
+                next: 0,
+            },
+            acks: Vec::new(),
+        }));
+        sim.run_to_quiescence();
+        let acks = sim.agent::<FeederWithAcks>(feeder).acks.clone();
+        let expected = sim.agent::<TcpSink>(sink).cumulative_ack();
+        (acks, expected)
+    }
+
+    #[test]
+    fn in_order_acks_advance() {
+        let (acks, expected) = run(vec![0, 1, 2, 3]);
+        assert_eq!(acks, vec![1, 2, 3, 4]);
+        assert_eq!(expected, 4);
+    }
+
+    #[test]
+    fn gap_produces_duplicate_acks_then_catches_up() {
+        // segment 1 lost: 0, 2, 3 arrive, then 1 retransmitted
+        let (acks, expected) = run(vec![0, 2, 3, 1]);
+        assert_eq!(acks, vec![1, 1, 1, 4]);
+        assert_eq!(expected, 4);
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let (acks, expected) = run(vec![0, 0, 1, 1]);
+        assert_eq!(expected, 2);
+        assert_eq!(acks, vec![1, 1, 2, 2]);
+    }
+}

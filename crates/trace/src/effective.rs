@@ -1,0 +1,214 @@
+//! Effective bandwidth (Kelly 1996) — the alternative definition the
+//! paper points to when discussing the underestimation artifacts of
+//! Pitfalls 6 and 7.
+//!
+//! The avail-bw definition `A = C(1 - u)` ignores burstiness: two
+//! traffic mixes with the same mean utilisation can need very different
+//! headroom to meet a delay constraint. The *effective bandwidth* of a
+//! load process `X` at space parameter `s` and timescale `tau`,
+//!
+//! ```text
+//! alpha(s, tau) = 1/(s*tau) * ln E[ exp(s * X(tau)) ]
+//! ```
+//!
+//! (with `X(tau)` the bits arriving in a window of length `tau`),
+//! interpolates between the mean rate (`s → 0`) and the peak rate
+//! (`s → ∞`): the burstier the traffic, the faster it rises with `s`.
+//! Comparing `C - alpha(s)` to the plain avail-bw quantifies how much of
+//! the "available" bandwidth is actually usable under a QoS constraint.
+
+use crate::process::AvailBw;
+
+/// Effective-bandwidth curve of a link's *cross-traffic load* process,
+/// derived from the recorded busy periods.
+#[derive(Debug, Clone)]
+pub struct EffectiveBandwidth {
+    /// Window length in nanoseconds.
+    pub tau_ns: u64,
+    /// Bits served per window (the load samples `X(tau)`).
+    loads_bits: Vec<f64>,
+    /// Window length in seconds.
+    tau_secs: f64,
+}
+
+impl EffectiveBandwidth {
+    /// Builds the load samples from an avail-bw process at window
+    /// length `tau_ns` (back-to-back windows across the horizon).
+    ///
+    /// Panics when the horizon holds fewer than 2 windows.
+    pub fn from_process(process: &AvailBw, tau_ns: u64) -> Self {
+        assert!(tau_ns > 0, "zero window");
+        let (h0, h1) = process.horizon();
+        let mut loads = Vec::new();
+        let mut t = h0;
+        while t + tau_ns <= h1 {
+            // load = busy time * capacity
+            let busy_secs = process.busy_ns(t, t + tau_ns) as f64 / 1e9;
+            loads.push(busy_secs * process.capacity_bps());
+            t += tau_ns;
+        }
+        assert!(loads.len() >= 2, "horizon shorter than two windows");
+        EffectiveBandwidth {
+            tau_ns,
+            loads_bits: loads,
+            tau_secs: tau_ns as f64 / 1e9,
+        }
+    }
+
+    /// Number of load windows.
+    pub fn windows(&self) -> usize {
+        self.loads_bits.len()
+    }
+
+    /// Mean load rate in bits/s (`alpha` at `s → 0`).
+    pub fn mean_rate_bps(&self) -> f64 {
+        self.loads_bits.iter().sum::<f64>() / (self.loads_bits.len() as f64 * self.tau_secs)
+    }
+
+    /// Peak window load rate in bits/s (`alpha` at `s → ∞`).
+    pub fn peak_rate_bps(&self) -> f64 {
+        self.loads_bits
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            / self.tau_secs
+    }
+
+    /// The effective bandwidth `alpha(s)` in bits/s for a space
+    /// parameter `s` in 1/bits (`s > 0`).
+    ///
+    /// Computed with the log-sum-exp trick so large `s` does not
+    /// overflow.
+    pub fn alpha_bps(&self, s: f64) -> f64 {
+        assert!(s > 0.0, "space parameter must be positive");
+        let n = self.loads_bits.len() as f64;
+        let max = self
+            .loads_bits
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        // ln E[exp(sX)] = s*max + ln(1 + mean(expm1((x-max)*s))): the
+        // expm1/ln_1p pair keeps precision when s*X is far below the
+        // f64 epsilon (where plain exp/ln degenerates to 1.0 + noise)
+        let sum_m1: f64 = self
+            .loads_bits
+            .iter()
+            .map(|&x| ((x - max) * s).exp_m1())
+            .sum();
+        let ln_mean = s * max + (sum_m1 / n).ln_1p();
+        ln_mean / (s * self.tau_secs)
+    }
+
+    /// The curve `(s, alpha(s))` over a log-spaced grid of `points`
+    /// space parameters in `[s_lo, s_hi]`.
+    pub fn curve(&self, s_lo: f64, s_hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(s_lo > 0.0 && s_hi > s_lo && points >= 2);
+        let ratio = (s_hi / s_lo).powf(1.0 / (points - 1) as f64);
+        (0..points)
+            .map(|i| {
+                let s = s_lo * ratio.powi(i as i32);
+                (s, self.alpha_bps(s))
+            })
+            .collect()
+    }
+
+    /// "Effective avail-bw": capacity minus `alpha(s)` — what is left
+    /// for new traffic under the QoS stringency `s`. Always at most the
+    /// plain avail-bw, with the gap growing with burstiness.
+    pub fn effective_avail_bps(&self, capacity_bps: f64, s: f64) -> f64 {
+        capacity_bps - self.alpha_bps(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::AvailBw;
+
+    const MS: u64 = 1_000_000; // ns
+    const CAP: f64 = 100e6; // bits/s
+
+    /// Smooth process: busy 5 ms of every 10 ms window (1 s horizon).
+    fn smooth() -> AvailBw {
+        let intervals: Vec<(u64, u64)> = (0..100)
+            .map(|i| (i * 10 * MS, (i * 10 + 5) * MS))
+            .collect();
+        AvailBw::new(CAP, &intervals, (0, 1000 * MS))
+    }
+
+    /// Bursty process, same mean: fully busy every other 10 ms window.
+    fn bursty() -> AvailBw {
+        let intervals: Vec<(u64, u64)> = (0..50)
+            .map(|i| (i * 20 * MS, (i * 20 + 10) * MS))
+            .collect();
+        AvailBw::new(CAP, &intervals, (0, 1000 * MS))
+    }
+
+    #[test]
+    fn alpha_interpolates_mean_to_peak() {
+        let eb = EffectiveBandwidth::from_process(&bursty(), 10 * MS);
+        let mean = eb.mean_rate_bps();
+        let peak = eb.peak_rate_bps();
+        assert!((mean - 50e6).abs() < 1.0);
+        assert!((peak - 100e6).abs() < 1.0);
+        // small s ≈ mean, large s ≈ peak (s is per bit: the regimes sit
+        // at s*X << 1 and s*(peak-mean)*tau >> ln n)
+        assert!((eb.alpha_bps(1e-12) - mean).abs() / mean < 1e-3);
+        assert!((eb.alpha_bps(1e-3) - peak).abs() / peak < 1e-3);
+    }
+
+    #[test]
+    fn alpha_is_nondecreasing_in_s() {
+        let eb = EffectiveBandwidth::from_process(&bursty(), 10 * MS);
+        let curve = eb.curve(1e-12, 1e-3, 30);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 1.0,
+                "alpha must not decrease: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn burstier_traffic_has_higher_alpha_at_same_mean() {
+        let s = 1e-5;
+        let eb_smooth = EffectiveBandwidth::from_process(&smooth(), 10 * MS);
+        let eb_bursty = EffectiveBandwidth::from_process(&bursty(), 10 * MS);
+        assert!(
+            (eb_smooth.mean_rate_bps() - eb_bursty.mean_rate_bps()).abs() < 1.0,
+            "same mean by construction"
+        );
+        assert!(
+            eb_bursty.alpha_bps(s) > eb_smooth.alpha_bps(s) + 1e6,
+            "bursty alpha {} vs smooth alpha {}",
+            eb_bursty.alpha_bps(s),
+            eb_smooth.alpha_bps(s)
+        );
+        // and therefore less effective avail-bw under the constraint
+        assert!(
+            eb_bursty.effective_avail_bps(CAP, s) < eb_smooth.effective_avail_bps(CAP, s)
+        );
+    }
+
+    #[test]
+    fn smooth_traffic_alpha_is_flat() {
+        // every window identical ⇒ alpha(s) = mean for all s
+        let eb = EffectiveBandwidth::from_process(&smooth(), 10 * MS);
+        for s in [1e-12, 1e-8, 1e-5, 1e-3] {
+            assert!(
+                (eb.alpha_bps(s) - 50e6).abs() < 1.0,
+                "s = {s}: alpha = {}",
+                eb.alpha_bps(s)
+            );
+        }
+    }
+
+    #[test]
+    fn effective_avail_bounded_by_plain_avail() {
+        let eb = EffectiveBandwidth::from_process(&bursty(), 10 * MS);
+        let plain_avail = CAP - eb.mean_rate_bps();
+        for s in [1e-10, 1e-7, 1e-5, 1e-4] {
+            assert!(eb.effective_avail_bps(CAP, s) <= plain_avail + 1.0);
+        }
+    }
+}

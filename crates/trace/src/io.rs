@@ -1,0 +1,154 @@
+//! Plain-text persistence for avail-bw processes and arrival traces.
+//!
+//! Experiments that take minutes to simulate should not have to be
+//! re-run to re-plot: busy-interval records round-trip through a simple
+//! line format (`start_ns end_ns`, one interval per line, with a header
+//! carrying capacity and horizon), readable by any plotting tool. No
+//! external serialisation crates are involved.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::process::AvailBw;
+
+/// Magic first line of the busy-interval format.
+const HEADER: &str = "abw-busy-v1";
+
+/// Serialises the process's busy intervals to the text format.
+pub fn to_string(process: &AvailBw) -> String {
+    let (h0, h1) = process.horizon();
+    let mut out = String::new();
+    let _ = writeln!(out, "{HEADER}");
+    let _ = writeln!(out, "capacity_bps {}", process.capacity_bps());
+    let _ = writeln!(out, "horizon {h0} {h1}");
+    for (s, e) in process.intervals() {
+        let _ = writeln!(out, "{s} {e}");
+    }
+    out
+}
+
+/// Parses the text format back into an [`AvailBw`].
+///
+/// Returns a descriptive error on malformed input.
+pub fn from_str(text: &str) -> Result<AvailBw, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        other => return Err(format!("bad header: {other:?}")),
+    }
+    let capacity = lines
+        .next()
+        .and_then(|l| l.strip_prefix("capacity_bps "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .ok_or("missing or malformed capacity_bps line")?;
+    let horizon_line = lines
+        .next()
+        .and_then(|l| l.strip_prefix("horizon "))
+        .ok_or("missing horizon line")?;
+    let mut parts = horizon_line.split_whitespace();
+    let h0: u64 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or("malformed horizon start")?;
+    let h1: u64 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or("malformed horizon end")?;
+    let mut intervals = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = line.split_whitespace();
+        let s: u64 = p
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {}: bad interval start", i + 4))?;
+        let e: u64 = p
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("line {}: bad interval end", i + 4))?;
+        intervals.push((s, e));
+    }
+    if capacity <= 0.0 || h1 <= h0 {
+        return Err("non-positive capacity or empty horizon".into());
+    }
+    // AvailBw::new validates ordering/overlap and panics on violation;
+    // pre-validate to return an error instead
+    let mut prev = h0;
+    for &(s, e) in &intervals {
+        if s < prev || e < s || e > h1 {
+            return Err(format!("invalid interval ({s}, {e})"));
+        }
+        prev = e;
+    }
+    Ok(AvailBw::new(capacity, &intervals, (h0, h1)))
+}
+
+/// Writes the process to a file.
+pub fn save(process: &AvailBw, path: &Path) -> io::Result<()> {
+    fs::write(path, to_string(process))
+}
+
+/// Reads a process from a file.
+pub fn load(path: &Path) -> io::Result<AvailBw> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> AvailBw {
+        AvailBw::new(50e6, &[(10, 20), (30, 55), (80, 81)], (0, 100))
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let p = toy();
+        let text = to_string(&p);
+        let q = from_str(&text).expect("parses");
+        assert_eq!(q.capacity_bps(), p.capacity_bps());
+        assert_eq!(q.horizon(), p.horizon());
+        for (a, b) in [(0u64, 100u64), (5, 35), (30, 55), (54, 81)] {
+            assert_eq!(q.busy_ns(a, b), p.busy_ns(a, b));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("abw_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.abw");
+        let p = toy();
+        save(&p, &path).expect("saves");
+        let q = load(&path).expect("loads");
+        assert_eq!(q.busy_ns(0, 100), p.busy_ns(0, 100));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_interval_set_round_trips() {
+        let p = AvailBw::new(1e6, &[], (5, 50));
+        let q = from_str(&to_string(&p)).expect("parses");
+        assert_eq!(q.busy_ns(5, 50), 0);
+        assert_eq!(q.mean(), 1e6);
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        assert!(from_str("").is_err());
+        assert!(from_str("wrong-header\ncapacity_bps 5\nhorizon 0 10").is_err());
+        assert!(from_str("abw-busy-v1\ncapacity_bps x\nhorizon 0 10").is_err());
+        assert!(from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 10 10").is_err());
+        // overlapping intervals rejected with an error
+        assert!(
+            from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 0 100\n0 10\n5 15").is_err()
+        );
+        // interval beyond horizon
+        assert!(from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 0 100\n90 110").is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! # abw-traffic
+//!
+//! Cross-traffic generators for the avail-bw estimation experiments.
+//!
+//! The paper's simulations use three cross-traffic models on the tight link
+//! (Figure 3): Constant-Bit-Rate, Poisson, and Pareto ON-OFF (OFF shape
+//! parameter 1.5, ON duration uniform over 1–10 packets), plus UDP sources
+//! with Pareto interarrivals (Figure 7) and a bursty aggregate standing in
+//! for the NLANR trace (Figures 1 and 6). Every generator here is an
+//! [`ArrivalProcess`] — a deterministic, seeded stream of
+//! `(gap, packet size)` pairs — driven onto a path by a [`SourceAgent`].
+//!
+//! Packet sizes follow [`SizeDist`]: Fallacy 4 ("packet pairs are as good
+//! as packet trains") hinges on cross traffic having *discrete, modal*
+//! packet sizes, so the size distribution is a first-class parameter.
+
+pub mod process;
+pub mod replay;
+pub mod sizes;
+pub mod source;
+
+pub use process::{ArrivalProcess, Cbr, ParetoInterarrival, ParetoOnOff, PoissonProcess};
+pub use replay::{RecordedTrace, Replay};
+pub use sizes::SizeDist;
+pub use source::{spawn_aggregate, SourceAgent};

@@ -1,0 +1,321 @@
+//! Arrival processes: deterministic, seeded `(gap, size)` generators.
+
+use abw_netsim::{gap_for_rate, SimDuration};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::sizes::SizeDist;
+
+/// A stream of packet arrivals: each call yields the gap until the next
+/// packet and that packet's size in bytes.
+///
+/// Implementations own their RNG, so a process is a pure function of its
+/// construction parameters (including the seed).
+pub trait ArrivalProcess {
+    /// Gap to the next arrival and its size.
+    fn next_arrival(&mut self) -> (SimDuration, u32);
+
+    /// The configured long-run mean rate in bits per second.
+    fn mean_rate_bps(&self) -> f64;
+}
+
+/// Draws `Exp(mean)` seconds via inverse transform.
+fn exp_secs(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -mean * u.ln()
+}
+
+/// Draws `Pareto(shape, scale)` seconds via inverse transform.
+///
+/// Mean is `shape * scale / (shape - 1)` for `shape > 1`.
+fn pareto_secs(rng: &mut StdRng, shape: f64, scale: f64) -> f64 {
+    let u: f64 = 1.0 - rng.random::<f64>();
+    scale * u.powf(-1.0 / shape)
+}
+
+// ---------------------------------------------------------------------------
+
+/// Constant bit rate: fixed gaps, fixed size — the closest packet-level
+/// approximation of the paper's fluid model.
+#[derive(Debug, Clone)]
+pub struct Cbr {
+    rate_bps: f64,
+    size: u32,
+}
+
+impl Cbr {
+    /// A CBR stream of `size`-byte packets at `rate_bps`.
+    pub fn new(rate_bps: f64, size: u32) -> Self {
+        assert!(rate_bps > 0.0 && size > 0, "invalid CBR parameters");
+        Cbr { rate_bps, size }
+    }
+}
+
+impl ArrivalProcess for Cbr {
+    fn next_arrival(&mut self) -> (SimDuration, u32) {
+        (gap_for_rate(self.size, self.rate_bps), self.size)
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Poisson packet arrivals: exponential gaps, sizes drawn from a
+/// [`SizeDist`]. The arrival rate is chosen so the long-run bit rate
+/// equals `rate_bps` given the size distribution's mean.
+#[derive(Debug)]
+pub struct PoissonProcess {
+    rate_bps: f64,
+    sizes: SizeDist,
+    mean_gap_secs: f64,
+    rng: StdRng,
+}
+
+impl PoissonProcess {
+    /// A Poisson stream averaging `rate_bps` with the given sizes and seed.
+    pub fn new(rate_bps: f64, sizes: SizeDist, seed: u64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        let pkts_per_sec = rate_bps / (8.0 * sizes.mean());
+        PoissonProcess {
+            rate_bps,
+            sizes,
+            mean_gap_secs: 1.0 / pkts_per_sec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalProcess for PoissonProcess {
+    fn next_arrival(&mut self) -> (SimDuration, u32) {
+        let gap = exp_secs(&mut self.rng, self.mean_gap_secs);
+        let size = self.sizes.sample(&mut self.rng);
+        (SimDuration::from_secs_f64(gap), size)
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Pareto ON-OFF: bursts of packets sent back-to-back at a peak rate,
+/// separated by heavy-tailed silences.
+///
+/// Matches the paper's Figure 3 model: ON duration uniform over 1–10
+/// packets, OFF periods Pareto with shape 1.5. Aggregating many such
+/// sources produces long-range-dependent traffic (Taqqu's theorem), which
+/// is what makes the synthetic NLANR-substitute trace realistic.
+#[derive(Debug)]
+pub struct ParetoOnOff {
+    rate_bps: f64,
+    peak_rate_bps: f64,
+    size: u32,
+    off_shape: f64,
+    off_scale_secs: f64,
+    min_on_pkts: u32,
+    max_on_pkts: u32,
+    /// Packets left in the current ON burst.
+    remaining: u32,
+    rng: StdRng,
+}
+
+impl ParetoOnOff {
+    /// A source averaging `rate_bps`, bursting at `peak_rate_bps` with
+    /// `size`-byte packets, ON length uniform over 1–10 packets, OFF
+    /// periods Pareto(1.5).
+    ///
+    /// Panics unless `0 < rate_bps < peak_rate_bps`.
+    pub fn new(rate_bps: f64, peak_rate_bps: f64, size: u32, seed: u64) -> Self {
+        Self::with_shape(rate_bps, peak_rate_bps, size, 1.5, 1, 10, seed)
+    }
+
+    /// Full-parameter constructor: OFF shape (> 1 so the mean exists) and
+    /// the ON-burst length range in packets.
+    pub fn with_shape(
+        rate_bps: f64,
+        peak_rate_bps: f64,
+        size: u32,
+        off_shape: f64,
+        min_on_pkts: u32,
+        max_on_pkts: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(
+            peak_rate_bps > rate_bps,
+            "peak rate must exceed the mean rate"
+        );
+        assert!(off_shape > 1.0, "OFF shape must exceed 1 for a finite mean");
+        assert!(min_on_pkts >= 1 && max_on_pkts >= min_on_pkts);
+        let mean_on_pkts = (min_on_pkts + max_on_pkts) as f64 / 2.0;
+        let bits_per_on = mean_on_pkts * size as f64 * 8.0;
+        // A burst of n packets occupies n-1 peak-rate gaps (the first packet
+        // of a burst arrives after the OFF gap), so a mean cycle is
+        // off + (E[n]-1) * gap and must carry bits_per_on at rate_bps.
+        let peak_gap_secs = size as f64 * 8.0 / peak_rate_bps;
+        let mean_on_secs = (mean_on_pkts - 1.0) * peak_gap_secs;
+        let mean_cycle_secs = bits_per_on / rate_bps;
+        let mean_off_secs = mean_cycle_secs - mean_on_secs;
+        assert!(mean_off_secs > 0.0, "no silence left: lower the mean rate");
+        let off_scale_secs = mean_off_secs * (off_shape - 1.0) / off_shape;
+        ParetoOnOff {
+            rate_bps,
+            peak_rate_bps,
+            size,
+            off_shape,
+            off_scale_secs,
+            min_on_pkts,
+            max_on_pkts,
+            remaining: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalProcess for ParetoOnOff {
+    fn next_arrival(&mut self) -> (SimDuration, u32) {
+        if self.remaining == 0 {
+            // new cycle: heavy-tailed silence, then a burst
+            self.remaining = self
+                .rng
+                .random_range(self.min_on_pkts..=self.max_on_pkts);
+            let off = pareto_secs(&mut self.rng, self.off_shape, self.off_scale_secs);
+            self.remaining -= 1;
+            (SimDuration::from_secs_f64(off), self.size)
+        } else {
+            self.remaining -= 1;
+            (gap_for_rate(self.size, self.peak_rate_bps), self.size)
+        }
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Packets with Pareto-distributed interarrivals — the "UDP sources with
+/// Pareto interarrivals" cross traffic of Figure 7.
+#[derive(Debug)]
+pub struct ParetoInterarrival {
+    rate_bps: f64,
+    sizes: SizeDist,
+    shape: f64,
+    scale_secs: f64,
+    rng: StdRng,
+}
+
+impl ParetoInterarrival {
+    /// Mean rate `rate_bps`, gap shape `shape` (> 1), sizes from `sizes`.
+    pub fn new(rate_bps: f64, sizes: SizeDist, shape: f64, seed: u64) -> Self {
+        assert!(rate_bps > 0.0 && shape > 1.0, "invalid parameters");
+        let mean_gap = 8.0 * sizes.mean() / rate_bps;
+        let scale_secs = mean_gap * (shape - 1.0) / shape;
+        ParetoInterarrival {
+            rate_bps,
+            sizes,
+            shape,
+            scale_secs,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ArrivalProcess for ParetoInterarrival {
+    fn next_arrival(&mut self) -> (SimDuration, u32) {
+        let gap = pareto_secs(&mut self.rng, self.shape, self.scale_secs);
+        let size = self.sizes.sample(&mut self.rng);
+        (SimDuration::from_secs_f64(gap), size)
+    }
+
+    fn mean_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Long-run empirical rate of a process, in bits/s.
+    fn empirical_rate(p: &mut dyn ArrivalProcess, arrivals: usize) -> f64 {
+        let mut t = 0.0;
+        let mut bits = 0.0;
+        for _ in 0..arrivals {
+            let (gap, size) = p.next_arrival();
+            t += gap.as_secs_f64();
+            bits += size as f64 * 8.0;
+        }
+        bits / t
+    }
+
+    #[test]
+    fn cbr_exact_rate() {
+        let mut p = Cbr::new(25e6, 1500);
+        let r = empirical_rate(&mut p, 1000);
+        assert!((r - 25e6).abs() / 25e6 < 1e-6, "rate {r}");
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut p = PoissonProcess::new(25e6, SizeDist::Constant(1500), 3);
+        let r = empirical_rate(&mut p, 200_000);
+        assert!((r - 25e6).abs() / 25e6 < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn poisson_with_mixed_sizes_converges() {
+        let mut p = PoissonProcess::new(10e6, SizeDist::internet_mix(), 11);
+        let r = empirical_rate(&mut p, 400_000);
+        assert!((r - 10e6).abs() / 10e6 < 0.01, "rate {r}");
+    }
+
+    #[test]
+    fn pareto_onoff_rate_converges() {
+        // heavy tail converges slowly; generous tolerance and many samples
+        let mut p = ParetoOnOff::new(25e6, 50e6, 1500, 5);
+        let r = empirical_rate(&mut p, 2_000_000);
+        assert!((r - 25e6).abs() / 25e6 < 0.05, "rate {r}");
+    }
+
+    #[test]
+    fn pareto_onoff_bursts_at_peak() {
+        let mut p = ParetoOnOff::new(10e6, 40e6, 1500, 9);
+        let peak_gap = gap_for_rate(1500, 40e6);
+        let mut saw_burst_gap = false;
+        for _ in 0..1000 {
+            let (gap, _) = p.next_arrival();
+            if gap == peak_gap {
+                saw_burst_gap = true;
+            }
+        }
+        assert!(saw_burst_gap, "no back-to-back burst gaps observed");
+    }
+
+    #[test]
+    fn pareto_interarrival_rate_converges() {
+        let mut p = ParetoInterarrival::new(5e6, SizeDist::Constant(1000), 2.5, 17);
+        let r = empirical_rate(&mut p, 500_000);
+        assert!((r - 5e6).abs() / 5e6 < 0.03, "rate {r}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn onoff_peak_must_exceed_mean() {
+        let _ = ParetoOnOff::new(50e6, 25e6, 1500, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = PoissonProcess::new(10e6, SizeDist::internet_mix(), 42);
+        let mut b = PoissonProcess::new(10e6, SizeDist::internet_mix(), 42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+}

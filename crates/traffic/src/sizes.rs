@@ -1,0 +1,144 @@
+//! Packet-size distributions.
+//!
+//! Internet cross traffic has a strongly modal size distribution (the paper
+//! names 40 B and 1500 B packets explicitly); the granularity of the sizes
+//! directly sets the quantisation noise seen by packet-pair probing
+//! (Fallacy 4, Table 1).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A discrete packet-size distribution.
+///
+/// ```
+/// use abw_traffic::SizeDist;
+/// let mix = SizeDist::internet_mix();
+/// assert_eq!(mix.mean(), 539.0); // 0.5*40 + 0.25*576 + 0.25*1500
+/// ```
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Every packet has the same size.
+    Constant(u32),
+    /// Arbitrary finite support: `(size, probability)` pairs.
+    ///
+    /// Probabilities must be positive and sum to 1 (validated by
+    /// [`SizeDist::empirical`]).
+    Empirical(Vec<(u32, f64)>),
+}
+
+impl SizeDist {
+    /// The canonical trimodal Internet mix: 40 B (ACKs) with probability
+    /// 0.5, 576 B with 0.25, and 1500 B (full MTU) with 0.25.
+    pub fn internet_mix() -> Self {
+        SizeDist::Empirical(vec![(40, 0.50), (576, 0.25), (1500, 0.25)])
+    }
+
+    /// Builds a validated empirical distribution.
+    ///
+    /// Panics when empty, when any probability is non-positive or any size
+    /// is zero, or when probabilities do not sum to 1 (±1e-9).
+    pub fn empirical(entries: Vec<(u32, f64)>) -> Self {
+        assert!(!entries.is_empty(), "empirical size distribution is empty");
+        let mut total = 0.0;
+        for &(size, p) in &entries {
+            assert!(size > 0, "zero-size packet");
+            assert!(p > 0.0, "non-positive probability");
+            total += p;
+        }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities sum to {total}, expected 1"
+        );
+        SizeDist::Empirical(entries)
+    }
+
+    /// Draws one packet size.
+    pub fn sample(&self, rng: &mut StdRng) -> u32 {
+        match self {
+            SizeDist::Constant(s) => *s,
+            SizeDist::Empirical(entries) => {
+                let mut u: f64 = rng.random();
+                for &(size, p) in entries {
+                    if u < p {
+                        return size;
+                    }
+                    u -= p;
+                }
+                // float rounding can leave a sliver above the last cumsum
+                entries.last().expect("validated non-empty").0
+            }
+        }
+    }
+
+    /// Expected packet size in bytes.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDist::Constant(s) => *s as f64,
+            SizeDist::Empirical(entries) => {
+                entries.iter().map(|&(s, p)| s as f64 * p).sum()
+            }
+        }
+    }
+
+    /// Largest size in the support.
+    pub fn max(&self) -> u32 {
+        match self {
+            SizeDist::Constant(s) => *s,
+            SizeDist::Empirical(entries) => {
+                entries.iter().map(|&(s, _)| s).max().expect("non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let d = SizeDist::Constant(1500);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 1500);
+        }
+        assert_eq!(d.mean(), 1500.0);
+        assert_eq!(d.max(), 1500);
+    }
+
+    #[test]
+    fn internet_mix_mean() {
+        let d = SizeDist::internet_mix();
+        // 0.5*40 + 0.25*576 + 0.25*1500 = 539
+        assert!((d.mean() - 539.0).abs() < 1e-9);
+        assert_eq!(d.max(), 1500);
+    }
+
+    #[test]
+    fn empirical_frequencies_converge() {
+        let d = SizeDist::internet_mix();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut small = 0u32;
+        for _ in 0..n {
+            if d.sample(&mut rng) == 40 {
+                small += 1;
+            }
+        }
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P(40B) = {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_rejected() {
+        let _ = SizeDist::empirical(vec![(40, 0.6), (1500, 0.6)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = SizeDist::empirical(vec![(0, 1.0)]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Driving an [`ArrivalProcess`] onto a path.
+
+use abw_netsim::{
+    packet_to, Agent, AgentId, Ctx, FlowId, PacketKind, PathId, SimDuration, SimTime, Simulator,
+};
+
+use crate::process::{ArrivalProcess, ParetoOnOff};
+
+/// A simulator agent that injects the packets of an [`ArrivalProcess`]
+/// down a path until an optional stop time.
+///
+/// Cross traffic in the paper's multi-hop experiments is *one-hop
+/// persistent*: it enters at link `i` and exits at link `i+1`, which in
+/// this simulator is simply a source whose path contains only link `i`.
+pub struct SourceAgent {
+    process: Box<dyn ArrivalProcess>,
+    path: PathId,
+    dst: AgentId,
+    flow: FlowId,
+    stop_at: Option<SimTime>,
+    /// Packets injected so far.
+    pub sent_packets: u64,
+    /// Bytes injected so far.
+    pub sent_bytes: u64,
+}
+
+impl SourceAgent {
+    /// Creates a source that runs from the simulation start until stopped.
+    pub fn new(
+        process: Box<dyn ArrivalProcess>,
+        path: PathId,
+        dst: AgentId,
+        flow: FlowId,
+    ) -> Self {
+        SourceAgent {
+            process,
+            path,
+            dst,
+            flow,
+            stop_at: None,
+            sent_packets: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Stops injecting at the given simulated time.
+    pub fn with_stop_at(mut self, t: SimTime) -> Self {
+        self.stop_at = Some(t);
+        self
+    }
+
+    /// Empirical mean rate injected so far, given the elapsed time.
+    pub fn injected_rate_bps(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.sent_bytes as f64 * 8.0 / elapsed.as_secs_f64()
+    }
+}
+
+impl Agent for SourceAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // The first packet arrives after one gap: sources started together
+        // do not emit a synchronised burst at t = 0.
+        let (gap, _) = self.process.next_arrival();
+        ctx.schedule_in(gap, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if let Some(stop) = self.stop_at {
+            if ctx.now() >= stop {
+                return;
+            }
+        }
+        // send one packet now, draw the next gap
+        let (next_gap, size) = self.process.next_arrival();
+        let p = packet_to(
+            self.dst,
+            self.path,
+            self.flow,
+            size,
+            self.sent_packets,
+            PacketKind::Data,
+        );
+        ctx.send(p);
+        self.sent_packets += 1;
+        self.sent_bytes += size as u64;
+        ctx.schedule_in(next_gap, 0);
+    }
+}
+
+/// Adds `n` Pareto ON-OFF sources whose rates sum to `total_rate_bps`,
+/// all feeding `path` towards `dst`. Aggregated heavy-tailed ON-OFF
+/// sources yield long-range-dependent traffic — the model behind the
+/// synthetic NLANR-substitute trace.
+///
+/// Returns the created agent ids. Flows are numbered `flow_base + i`.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_aggregate(
+    sim: &mut Simulator,
+    n: usize,
+    total_rate_bps: f64,
+    peak_rate_bps: f64,
+    packet_size: u32,
+    path: PathId,
+    dst: AgentId,
+    flow_base: u32,
+    seed: u64,
+) -> Vec<AgentId> {
+    assert!(n > 0, "aggregate needs at least one source");
+    let per_source = total_rate_bps / n as f64;
+    (0..n)
+        .map(|i| {
+            let process = ParetoOnOff::new(
+                per_source,
+                peak_rate_bps,
+                packet_size,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            sim.add_agent(Box::new(SourceAgent::new(
+                Box::new(process),
+                path,
+                dst,
+                FlowId(flow_base + i as u32),
+            )))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Cbr, PoissonProcess};
+    use crate::sizes::SizeDist;
+    use abw_netsim::{CountingSink, LinkConfig};
+
+    fn build(capacity_bps: f64) -> (Simulator, PathId, AgentId) {
+        let mut sim = Simulator::new();
+        let link = sim.add_link(LinkConfig::new(capacity_bps, SimDuration::ZERO));
+        let path = sim.add_path(vec![link]);
+        let sink = sim.add_agent(Box::new(CountingSink::new()));
+        (sim, path, sink)
+    }
+
+    #[test]
+    fn cbr_source_delivers_at_rate() {
+        let (mut sim, path, sink) = build(100e6);
+        sim.add_agent(Box::new(SourceAgent::new(
+            Box::new(Cbr::new(10e6, 1250)),
+            path,
+            sink,
+            FlowId(1),
+        )));
+        sim.run_until(SimTime::from_nanos(2_000_000_000));
+        let s: &CountingSink = sim.agent(sink);
+        // 10 Mb/s for 2 s = 2.5 MB; first packet delayed one gap (1 ms)
+        let expected = 2_500_000.0;
+        let got = s.bytes as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.01,
+            "delivered {got} bytes"
+        );
+    }
+
+    #[test]
+    fn source_respects_stop_time() {
+        let (mut sim, path, sink) = build(100e6);
+        let stop = SimTime::from_nanos(500_000_000);
+        sim.add_agent(Box::new(
+            SourceAgent::new(Box::new(Cbr::new(10e6, 1250)), path, sink, FlowId(1))
+                .with_stop_at(stop),
+        ));
+        sim.run_until(SimTime::from_nanos(2_000_000_000));
+        let s: &CountingSink = sim.agent(sink);
+        let expected = 10e6 * 0.5 / 8.0;
+        let got = s.bytes as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "delivered {got} bytes"
+        );
+        assert!(s.last_arrival.unwrap() <= stop + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn poisson_source_utilisation_matches() {
+        let (mut sim, path, sink) = build(50e6);
+        sim.add_agent(Box::new(SourceAgent::new(
+            Box::new(PoissonProcess::new(25e6, SizeDist::Constant(1500), 4)),
+            path,
+            sink,
+            FlowId(1),
+        )));
+        sim.run_until(SimTime::from_nanos(20_000_000_000));
+        let link = sim.link(abw_netsim::LinkId(0));
+        let busy = link.busy_log().total_busy().as_secs_f64();
+        let util = busy / 20.0;
+        assert!((util - 0.5).abs() < 0.02, "utilisation {util}");
+    }
+
+    #[test]
+    fn aggregate_spawns_and_sums_to_rate() {
+        let (mut sim, path, sink) = build(155.52e6);
+        let ids = spawn_aggregate(&mut sim, 16, 70e6, 155.52e6, 1500, path, sink, 10, 99);
+        assert_eq!(ids.len(), 16);
+        sim.run_until(SimTime::from_nanos(30_000_000_000));
+        let s: &CountingSink = sim.agent(sink);
+        let rate = s.bytes as f64 * 8.0 / 30.0;
+        assert!(
+            (rate - 70e6).abs() / 70e6 < 0.08,
+            "aggregate rate {rate}"
+        );
+    }
+}

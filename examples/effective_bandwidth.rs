@@ -1,0 +1,58 @@
+//! Effective bandwidth: the alternative headroom metric the paper
+//! points to when discussing the burstiness-induced underestimation of
+//! Pitfalls 6 and 7.
+//!
+//! Three traffic mixes with the SAME mean load (and hence the same
+//! avail-bw `A = C(1-u)`) need very different real headroom: Kelly's
+//! effective bandwidth `alpha(s)` makes that visible, where the plain
+//! avail-bw definition cannot.
+//!
+//! Run with: `cargo run --release --example effective_bandwidth`
+
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::netsim::SimDuration;
+use abwe::trace::EffectiveBandwidth;
+
+fn main() {
+    let tau_ns = 10_000_000; // 10 ms windows
+    println!(
+        "50 Mb/s link, 25 Mb/s mean cross load, three traffic models;\n\
+         effective bandwidth alpha(s) of the load at tau = 10 ms\n"
+    );
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>12}  {:>12}  {:>14}",
+        "model", "mean Mb/s", "peak Mb/s", "alpha(mild s)", "alpha(strict s)", "eff. avail Mb/s"
+    );
+
+    for cross in [CrossKind::Cbr, CrossKind::Poisson, CrossKind::ParetoOnOff] {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_secs(1));
+        s.sim.run_for(SimDuration::from_secs(30));
+        let process = s.ground_truth(0);
+        let eb = EffectiveBandwidth::from_process(&process, tau_ns);
+
+        let s_mild = 2e-6;
+        let s_strict = 2e-5;
+        println!(
+            "{:>14}  {:>10.1}  {:>10.1}  {:>12.1}  {:>12.1}  {:>14.1}",
+            format!("{cross:?}"),
+            eb.mean_rate_bps() / 1e6,
+            eb.peak_rate_bps() / 1e6,
+            eb.alpha_bps(s_mild) / 1e6,
+            eb.alpha_bps(s_strict) / 1e6,
+            eb.effective_avail_bps(50e6, s_strict) / 1e6,
+        );
+    }
+
+    println!(
+        "\nAll three rows have avail-bw A = 25 Mb/s by the paper's definition \
+         (Equation 2).\nThe burstier the traffic, the higher alpha(s) climbs \
+         above the mean — and the\nless of the nominal 25 Mb/s a delay-sensitive \
+         application can actually use.\nThis is why probing tools 'underestimate' \
+         on bursty paths (Figure 3): they\nfeel the queueing that the avail-bw \
+         definition ignores."
+    );
+}

@@ -1,0 +1,89 @@
+//! Integrating avail-bw estimation with an application — the paper's
+//! §4 closing question: *"integrate avail-bw estimation techniques with
+//! actual applications, and then examine the effectiveness of these
+//! techniques given the actual accuracy and latency constraints of real
+//! applications."*
+//!
+//! A streaming-like sender must pick a constant bitrate for a 10-second
+//! transmission over a 50/25 Mb/s bursty path. It measures with
+//! Pathload, then tries three policies — the conservative `R_L`, the
+//! range midpoint, and the optimistic `R_H` — and we observe what each
+//! choice does to the application's own one-way delays. The variation
+//! range (Fallacy 9) is exactly the information this decision needs:
+//! a point estimate hides the risk the range exposes.
+//!
+//! Run with: `cargo run --release --example rate_adaptation`
+
+use abwe::core::probe::ProbeRunner;
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::core::stream::StreamSpec;
+use abwe::core::tools::pathload::{Pathload, PathloadConfig};
+use abwe::netsim::SimDuration;
+use abwe::stats::trend::median;
+
+fn main() {
+    // measure once on the live path
+    let mut scenario = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::ParetoOnOff,
+        ..SingleHopConfig::default()
+    });
+    scenario.warm_up(SimDuration::from_millis(500));
+    let report = Pathload::new(PathloadConfig::default()).run(&mut scenario);
+    let (lo, hi) = report.range_bps;
+    println!(
+        "Pathload on the 50/25 Mb/s Pareto path: range [{:.1}, {:.1}] Mb/s, \
+         {} probe packets, {:.1} s of measurement\n",
+        lo / 1e6,
+        hi / 1e6,
+        report.probe_packets,
+        report.elapsed_secs,
+    );
+
+    println!(
+        "{:>22}  {:>10}  {:>12}  {:>12}  {:>10}",
+        "policy", "rate Mb/s", "median OWD", "p99 OWD", "delivered"
+    );
+
+    for (name, rate) in [
+        ("conservative (R_L)", lo),
+        ("midpoint", (lo + hi) / 2.0),
+        ("optimistic (R_H)", hi),
+        ("reckless (R_H + 20%)", hi * 1.2),
+    ] {
+        // a fresh identical path for each policy (paired conditions)
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross: CrossKind::ParetoOnOff,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+
+        // the "application": one long CBR stream at the chosen rate,
+        // instrumented through the probing endpoints
+        let spec = StreamSpec::periodic_for_duration(rate, 1200, SimDuration::from_secs(10));
+        let receiver = s.receiver;
+        let sender = s.sender;
+        let mut runner = ProbeRunner::new(sender, receiver);
+        runner.drain_timeout = SimDuration::from_secs(3);
+        let result = runner.run_stream(&mut s.sim, &spec);
+
+        let owds: Vec<f64> = result.relative_owds();
+        let mut sorted = owds.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p99 = sorted[(sorted.len() as f64 * 0.99) as usize - 1];
+        println!(
+            "{:>22}  {:>10.1}  {:>9.2} ms  {:>9.2} ms  {:>9.1}%",
+            name,
+            rate / 1e6,
+            median(&owds) * 1e3,
+            p99 * 1e3,
+            100.0 * (1.0 - result.loss_fraction()),
+        );
+    }
+
+    println!(
+        "\nStreaming at R_L keeps the application's queueing delay flat; at \
+         R_H the stream sits inside the avail-bw variation and rides the \
+         bursts; beyond R_H the queue grows without bound. The range — not a \
+         point — is what lets the application pick its own risk."
+    );
+}

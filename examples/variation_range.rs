@@ -1,0 +1,70 @@
+//! Analyse the avail-bw *process* of a bursty link: sample path,
+//! variance vs averaging timescale (Equations 4/5), and Hurst
+//! estimation — the statistical machinery behind Pitfalls 1 and 2.
+//!
+//! Run with: `cargo run --release --example variation_range`
+
+use abwe::netsim::SimDuration;
+use abwe::stats::hurst::variance_time_hurst;
+use abwe::stats::timescale::{iid_decay, variance_time};
+use abwe::trace::{SyntheticTrace, SyntheticTraceConfig};
+
+fn main() {
+    // a 20-second OC-3 trace at ~45% utilisation (the NLANR substitute)
+    let config = SyntheticTraceConfig {
+        duration: SimDuration::from_secs(20),
+        warmup: SimDuration::from_secs(1),
+        ..SyntheticTraceConfig::default()
+    };
+    let trace = SyntheticTrace::generate(&config);
+    let p = &trace.process;
+    println!(
+        "trace: {:.1} s, {} packets, mean avail-bw {:.1} Mb/s (utilisation {:.1}%)\n",
+        p.horizon_secs(),
+        trace.packets,
+        p.mean() / 1e6,
+        trace.achieved_utilization * 100.0
+    );
+
+    // 1. variability by timescale: Var[A_tau] falls as tau grows, but
+    //    slower than the IID 1/k law because the traffic is correlated
+    println!("timescale    sd(A_tau) Mb/s    IID prediction from 1 ms");
+    let base_ms = 1u64;
+    let series: Vec<f64> = p
+        .sample_path(base_ms * 1_000_000, base_ms * 1_000_000)
+        .into_iter()
+        .map(|(_, a)| a / 1e6)
+        .collect();
+    let base_var = variance_time(&series, &[1])[0].1;
+    for k in [1usize, 5, 10, 50, 100, 200] {
+        let vt = variance_time(&series, &[k]);
+        if let Some(&(_, v)) = vt.first() {
+            println!(
+                "{:>6} ms    {:>10.2}        {:>10.2}",
+                k as u64 * base_ms,
+                v.sqrt(),
+                iid_decay(base_var, k as f64).sqrt()
+            );
+        }
+    }
+
+    // 2. long-range dependence: the aggregate of Pareto ON-OFF sources
+    //    should show H > 0.5
+    if let Some(h) = variance_time_hurst(&series, &[1, 2, 4, 8, 16, 32, 64]) {
+        println!("\nvariance-time Hurst estimate: H = {h:.2} (H > 0.5 ⇒ long-range dependent)");
+    }
+
+    // 3. the variation range at the 10 ms timescale (Figure 6's view)
+    let pop = p.population(10_000_000);
+    println!(
+        "\nA_10ms: mean {:.1} Mb/s, sd {:.1} Mb/s, observed range {:.1} .. {:.1} Mb/s",
+        pop.mean() / 1e6,
+        pop.stddev() / 1e6,
+        pop.min() / 1e6,
+        pop.max() / 1e6
+    );
+    println!(
+        "An iterative prober on this link converges to a range of that order \
+         — not to a single number (Fallacy 9)."
+    );
+}

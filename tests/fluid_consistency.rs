@@ -1,0 +1,136 @@
+//! The packet simulator must agree with the paper's fluid model
+//! (Equations 6–9) when the cross traffic is CBR — the packet-level
+//! system closest to fluid. This pins the simulator's correctness to
+//! the closed forms the whole estimation area is built on.
+
+use abwe::core::fluid;
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::core::stream::StreamSpec;
+use abwe::netsim::SimDuration;
+use abwe::stats::regression::linear_fit_indexed;
+
+const CT: f64 = 50e6;
+const AVAIL: f64 = 25e6;
+
+fn cbr_scenario() -> Scenario {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::Cbr,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    s
+}
+
+#[test]
+fn output_rate_matches_equation_8_across_rates() {
+    let mut s = cbr_scenario();
+    let mut runner = s.runner();
+    for ri in [28e6, 32e6, 36e6, 40e6, 44e6] {
+        let spec = StreamSpec::Periodic {
+            rate_bps: ri,
+            size: 1500,
+            count: 200,
+        };
+        let r = runner.run_stream(&mut s.sim, &spec);
+        let ro = r.output_rate_bps().expect("stream received");
+        let fluid_ro = fluid::output_rate(CT, ri, AVAIL);
+        assert!(
+            (ro - fluid_ro).abs() / fluid_ro < 0.04,
+            "Ri = {} Mb/s: Ro = {:.2} Mb/s, fluid predicts {:.2} Mb/s",
+            ri / 1e6,
+            ro / 1e6,
+            fluid_ro / 1e6
+        );
+    }
+}
+
+#[test]
+fn no_expansion_below_the_avail_bw() {
+    let mut s = cbr_scenario();
+    let mut runner = s.runner();
+    for ri in [10e6, 18e6, 24e6] {
+        let spec = StreamSpec::Periodic {
+            rate_bps: ri,
+            size: 1500,
+            count: 150,
+        };
+        let r = runner.run_stream(&mut s.sim, &spec);
+        let ratio = r.rate_ratio().expect("stream received");
+        assert!(
+            ratio > 0.995,
+            "Ri = {} Mb/s < A: Ro/Ri = {ratio}",
+            ri / 1e6
+        );
+    }
+}
+
+#[test]
+fn owd_slope_matches_equation_7() {
+    let mut s = cbr_scenario();
+    let mut runner = s.runner();
+    let ri = 40e6;
+    let spec = StreamSpec::Periodic {
+        rate_bps: ri,
+        size: 1500,
+        count: 200,
+    };
+    let r = runner.run_stream(&mut s.sim, &spec);
+    let owds = r.owds();
+    let fit = linear_fit_indexed(&owds).expect("enough packets");
+    let predicted = fluid::owd_increase_per_packet(1500.0, CT, ri, AVAIL);
+    assert!(
+        (fit.slope - predicted).abs() / predicted < 0.08,
+        "OWD slope {:.3} us/pkt vs Equation 7's {:.3} us/pkt",
+        fit.slope * 1e6,
+        predicted * 1e6
+    );
+    assert!(fit.r2 > 0.95, "OWD growth should be nearly linear, r2 = {}", fit.r2);
+}
+
+#[test]
+fn direct_probing_inversion_recovers_avail_bw() {
+    let mut s = cbr_scenario();
+    let mut runner = s.runner();
+    for ri in [30e6, 40e6] {
+        let spec = StreamSpec::Periodic {
+            rate_bps: ri,
+            size: 1500,
+            count: 200,
+        };
+        let r = runner.run_stream(&mut s.sim, &spec);
+        let ro = r.output_rate_bps().expect("stream received");
+        let est = fluid::direct_probing_estimate(CT, ri, ro);
+        assert!(
+            (est - AVAIL).abs() / AVAIL < 0.05,
+            "Ri = {} Mb/s: estimate {:.2} Mb/s",
+            ri / 1e6,
+            est / 1e6
+        );
+    }
+}
+
+#[test]
+fn queue_growth_matches_equation_6() {
+    // send a long overloading stream and check the queue grows by
+    // (Ri - A)/Ri * L per probing packet, via the final OWD
+    let mut s = cbr_scenario();
+    let mut runner = s.runner();
+    let ri = 40e6;
+    let n = 300u32;
+    let spec = StreamSpec::Periodic {
+        rate_bps: ri,
+        size: 1500,
+        count: n,
+    };
+    let r = runner.run_stream(&mut s.sim, &spec);
+    let owds = r.owds();
+    let total_growth_secs = owds.last().unwrap() - owds.first().unwrap();
+    let per_packet_bits = fluid::queue_growth_per_packet(1500.0, ri, AVAIL);
+    let predicted_secs = per_packet_bits * (n - 1) as f64 / CT;
+    assert!(
+        (total_growth_secs - predicted_secs).abs() / predicted_secs < 0.08,
+        "queue grew {:.3} ms, Equation 6 predicts {:.3} ms",
+        total_growth_secs * 1e3,
+        predicted_secs * 1e3
+    );
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the probing layer: stream construction,
+//! measurement invariants over random scenarios, and TCP conservation.
+
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::core::stream::StreamSpec;
+use abwe::netsim::{FlowId, LinkConfig, SimDuration, SimTime, Simulator};
+use abwe::tcp::{TcpConfig, TcpSender, TcpSink};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stream offsets are strictly increasing and start at zero, for
+    /// every stream family and parameterisation.
+    #[test]
+    fn stream_offsets_monotone(
+        rate_mbps in 1.0f64..200.0,
+        size in 64u32..1500,
+        count in 2u32..64,
+        gamma in 1.05f64..2.0,
+    ) {
+        // keep the chirp's top rate within the nanosecond clock
+        let chirp_count = count.min(
+            (2.0 + (1e9 / (rate_mbps * 1e6)).ln() / gamma.ln()).floor().max(2.0) as u32,
+        );
+        for spec in [
+            StreamSpec::Periodic { rate_bps: rate_mbps * 1e6, size, count },
+            StreamSpec::Pair { rate_bps: rate_mbps * 1e6, size },
+            StreamSpec::Chirp {
+                start_rate_bps: rate_mbps * 1e6,
+                gamma,
+                size,
+                count: chirp_count,
+            },
+        ] {
+            let offsets = spec.offsets();
+            prop_assert_eq!(offsets.len(), spec.count() as usize);
+            prop_assert_eq!(offsets[0], SimDuration::ZERO);
+            for w in offsets.windows(2) {
+                prop_assert!(w[1] > w[0], "offsets must strictly increase");
+            }
+            prop_assert_eq!(spec.duration(), *offsets.last().unwrap());
+        }
+    }
+
+    /// A periodic stream's realised rate matches its nominal rate.
+    #[test]
+    fn periodic_rate_is_exact(
+        rate_mbps in 1.0f64..500.0,
+        size in 64u32..1500,
+        count in 3u32..128,
+    ) {
+        let spec = StreamSpec::Periodic { rate_bps: rate_mbps * 1e6, size, count };
+        let duration = spec.duration().as_secs_f64();
+        let realised = (count - 1) as f64 * size as f64 * 8.0 / duration;
+        prop_assert!((realised - rate_mbps * 1e6).abs() / (rate_mbps * 1e6) < 1e-3);
+    }
+
+    /// Chirp pair rates grow by gamma each step, across the whole range.
+    #[test]
+    fn chirp_geometry(
+        start_mbps in 0.5f64..50.0,
+        gamma in 1.05f64..1.8,
+        count in 4u32..40,
+    ) {
+        // cap the top probed rate at 2 Gb/s so gaps stay well above the
+        // nanosecond clock and ratios are not quantised by rounding
+        prop_assume!(start_mbps * 1e6 * gamma.powi(count as i32 - 2) < 2e9);
+        let spec = StreamSpec::Chirp {
+            start_rate_bps: start_mbps * 1e6,
+            gamma,
+            size: 1000,
+            count,
+        };
+        for k in 0..(count as usize - 2) {
+            let ratio = spec.pair_rate_bps(k + 1) / spec.pair_rate_bps(k);
+            prop_assert!(
+                (ratio - gamma).abs() / gamma < 0.02,
+                "pair {k}: ratio {ratio} vs gamma {gamma}"
+            );
+        }
+    }
+
+    /// On any single-hop scenario, a received stream's measurements obey
+    /// basic sanity: Ro ≤ capacity (+rounding), OWDs positive, loss
+    /// accounting consistent.
+    #[test]
+    fn stream_measurement_sanity(
+        cross_rate_mbps in 0.0f64..40.0,
+        probe_rate_mbps in 5.0f64..60.0,
+        count in 10u32..80,
+        seed in 0u64..1000,
+    ) {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross_rate_bps: cross_rate_mbps * 1e6,
+            cross: CrossKind::Poisson,
+            seed,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(100));
+        let mut runner = s.runner();
+        let spec = StreamSpec::Periodic {
+            rate_bps: probe_rate_mbps * 1e6,
+            size: 1500,
+            count,
+        };
+        let r = runner.run_stream(&mut s.sim, &spec);
+        prop_assert_eq!(r.received() + r.lost(), count as usize);
+        // unbounded queues: nothing may be lost
+        prop_assert_eq!(r.lost(), 0);
+        if let Some(ro) = r.output_rate_bps() {
+            prop_assert!(ro <= 50e6 * 1.01, "Ro {ro} exceeds capacity");
+            prop_assert!(ro > 0.0);
+        }
+        for d in r.owds() {
+            prop_assert!(d > 0.0, "non-positive OWD {d}");
+        }
+        // relative OWDs have minimum exactly zero
+        let rel = r.relative_owds();
+        let min = rel.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(min.abs() < 1e-15);
+    }
+
+    /// TCP conservation: the sink's cumulative ACK never exceeds what
+    /// the sender transmitted, and goodput never exceeds capacity.
+    #[test]
+    fn tcp_conservation(
+        capacity_mbps in 2u32..50,
+        buffer_pkts in 4u64..64,
+        rwnd in 1u64..64,
+        prop_ms in 1u64..30,
+    ) {
+        let capacity = capacity_mbps as f64 * 1e6;
+        let mut sim = Simulator::new();
+        let link = sim.add_link(
+            LinkConfig::new(capacity, SimDuration::from_millis(prop_ms))
+                .with_queue_packets(buffer_pkts, 1500),
+        );
+        let path = sim.add_path(vec![link]);
+        let sink = sim.add_agent(Box::new(TcpSink::new(SimDuration::from_millis(prop_ms))));
+        let sender = sim.add_agent(Box::new(TcpSender::new(
+            TcpConfig::bulk(path, sink, FlowId(1)).with_rwnd(rwnd),
+        )));
+        let horizon = SimTime::ZERO + SimDuration::from_secs(5);
+        sim.run_until(horizon);
+        let snd: &TcpSender = sim.agent(sender);
+        let rcv: &TcpSink = sim.agent(sink);
+        prop_assert!(rcv.cumulative_ack() <= snd.transmitted_segments);
+        prop_assert!(snd.acked_segments <= snd.transmitted_segments);
+        let goodput = snd.goodput_bps(horizon);
+        prop_assert!(
+            goodput <= capacity * 1.02,
+            "goodput {goodput} over a {capacity} link"
+        );
+        // the connection must make progress on any of these paths
+        prop_assert!(snd.acked_segments > 0, "no progress at all");
+    }
+}

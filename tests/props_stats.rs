@@ -1,0 +1,141 @@
+//! Property-based tests of the statistics and fluid-model kernels.
+
+use abwe::core::fluid;
+use abwe::stats::ecdf::Ecdf;
+use abwe::stats::running::Running;
+use abwe::stats::timescale::variance_time;
+use abwe::stats::trend::{median, pct, pdt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let r = Running::from_samples(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((r.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((r.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// Merging accumulators in any split equals sequential accumulation.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let seq = Running::from_samples(&xs);
+        let mut a = Running::from_samples(&xs[..split]);
+        a.merge(&Running::from_samples(&xs[split..]));
+        prop_assert_eq!(a.count(), seq.count());
+        prop_assert!((a.mean() - seq.mean()).abs() < 1e-9 * (1.0 + seq.mean().abs()));
+        prop_assert!((a.variance() - seq.variance()).abs() < 1e-7 * (1.0 + seq.variance()));
+    }
+
+    /// The ECDF is a monotone step function from 0 to 1.
+    #[test]
+    fn ecdf_monotone(xs in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let e = Ecdf::new(xs.clone());
+        let lo = e.min().unwrap();
+        let hi = e.max().unwrap();
+        prop_assert_eq!(e.cdf(lo - 1.0), 0.0);
+        prop_assert_eq!(e.cdf(hi), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = lo + (hi - lo) * i as f64 / 20.0;
+            let y = e.cdf(x);
+            prop_assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    /// Quantiles are samples, and ordered in q.
+    #[test]
+    fn quantiles_ordered(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::new(xs.clone());
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let v = e.quantile(q).unwrap();
+            prop_assert!(xs.contains(&v));
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// PCT lies in [0,1]; PDT lies in [-1,1]; both are exact on
+    /// monotone series.
+    #[test]
+    fn trend_statistics_bounded(xs in prop::collection::vec(-1e3f64..1e3, 2..150)) {
+        let p = pct(&xs);
+        let d = pdt(&xs);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((-1.0..=1.0).contains(&d));
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.dedup();
+        if sorted.len() >= 2 {
+            prop_assert_eq!(pct(&sorted), 1.0);
+            prop_assert!((pdt(&sorted) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The median is order-invariant and bounded by min/max.
+    #[test]
+    fn median_properties(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m1 = median(&xs);
+        xs.reverse();
+        let m2 = median(&xs);
+        prop_assert_eq!(m1, m2);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m1 >= lo && m1 <= hi);
+    }
+
+    /// Aggregating a series can only shrink its variance (Equation 4's
+    /// direction, for any correlation structure).
+    #[test]
+    fn aggregation_shrinks_variance(xs in prop::collection::vec(-1e3f64..1e3, 16..256)) {
+        let vt = variance_time(&xs, &[1, 2, 4]);
+        if vt.len() == 3 {
+            prop_assert!(vt[1].1 <= vt[0].1 * 1.5 + 1e-9);
+            // strict Cauchy-Schwarz bound: Var[mean of k] <= Var
+            prop_assert!(vt[2].1 <= vt[0].1 + 1e-9);
+        }
+    }
+
+    /// Equation 9 inverts Equation 8 exactly whenever Ri > A.
+    #[test]
+    fn fluid_inversion_roundtrip(
+        ct_mbps in 1.0f64..1000.0,
+        avail_frac in 0.01f64..0.99,
+        over_frac in 1.01f64..5.0,
+    ) {
+        let ct = ct_mbps * 1e6;
+        let avail = ct * avail_frac;
+        let ri = (avail * over_frac).min(ct * 10.0);
+        let ro = fluid::output_rate(ct, ri, avail);
+        prop_assert!(ro < ri, "must expand when Ri > A");
+        let est = fluid::direct_probing_estimate(ct, ri, ro);
+        prop_assert!((est - avail).abs() / avail < 1e-9);
+    }
+
+    /// Equation 8 is monotone in A and bounded by Ri and Ct.
+    #[test]
+    fn fluid_output_rate_bounds(
+        ct_mbps in 1.0f64..1000.0,
+        avail_frac in 0.0f64..1.0,
+        ri_frac in 0.01f64..3.0,
+    ) {
+        let ct = ct_mbps * 1e6;
+        let avail = ct * avail_frac;
+        let ri = ct * ri_frac;
+        let ro = fluid::output_rate(ct, ri, avail);
+        prop_assert!(ro <= ri + 1e-9);
+        prop_assert!(ro <= ct + 1e-9 || ri <= avail);
+        prop_assert!(ro > 0.0);
+    }
+}

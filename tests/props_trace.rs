@@ -1,0 +1,82 @@
+//! Property-based tests of the avail-bw process index: busy-time
+//! bounds, additivity under window splits, and consistency between
+//! utilisation and avail-bw, over random interval sets.
+
+use abwe::trace::AvailBw;
+use proptest::prelude::*;
+
+/// Generates sorted, non-overlapping busy intervals inside [0, horizon).
+fn intervals_strategy(horizon: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..horizon, 1u64..horizon / 10), 0..40).prop_map(move |raw| {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let mut cursor = 0u64;
+        for (start, len) in raw {
+            let s = cursor.max(start.min(horizon - 1));
+            let e = (s + len).min(horizon);
+            if e > s {
+                out.push((s, e));
+                cursor = e;
+            }
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// 0 <= busy(a,b) <= b-a, and avail in [0, C].
+    #[test]
+    fn busy_time_bounded(
+        intervals in intervals_strategy(1_000_000),
+        a in 0u64..999_999,
+        len in 1u64..500_000,
+    ) {
+        let p = AvailBw::new(100.0, &intervals, (0, 1_000_000));
+        let b = (a + len).min(1_000_000);
+        if b > a {
+            let busy = p.busy_ns(a, b);
+            prop_assert!(busy <= b - a);
+            let avail = p.avail(a, b);
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&avail));
+            // utilisation + avail/C = 1
+            let u = p.utilization(a, b);
+            prop_assert!((u + avail / 100.0 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// busy(a,c) = busy(a,b) + busy(b,c) for any split point b.
+    #[test]
+    fn busy_time_additive(
+        intervals in intervals_strategy(1_000_000),
+        mut cuts in prop::collection::vec(0u64..1_000_000, 3),
+    ) {
+        cuts.sort_unstable();
+        let (a, b, c) = (cuts[0], cuts[1], cuts[2]);
+        let p = AvailBw::new(10.0, &intervals, (0, 1_000_000));
+        prop_assert_eq!(p.busy_ns(a, c), p.busy_ns(a, b) + p.busy_ns(b, c));
+    }
+
+    /// The whole-horizon busy time equals the sum of the intervals.
+    #[test]
+    fn total_busy_matches_intervals(intervals in intervals_strategy(1_000_000)) {
+        let p = AvailBw::new(10.0, &intervals, (0, 1_000_000));
+        let expected: u64 = intervals.iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(p.busy_ns(0, 1_000_000), expected);
+    }
+
+    /// Population means at any timescale that tiles the horizon equal
+    /// the global mean.
+    #[test]
+    fn population_mean_is_global_mean(
+        intervals in intervals_strategy(1_000_000),
+        divisor in 1u64..50,
+    ) {
+        let tau = 1_000_000 / divisor;
+        if tau * divisor == 1_000_000 {
+            let p = AvailBw::new(100.0, &intervals, (0, 1_000_000));
+            let pop = p.population(tau);
+            prop_assert!((pop.mean() - p.mean()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end accuracy of every estimation tool on a known path — the
+//! "reproducible and controllable conditions" comparison the paper's
+//! summary calls for. Tolerances reflect each technique's published
+//! character (pairs noisier than trains, burstiness biases downward).
+
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::core::tools::bfind::{Bfind, BfindConfig};
+use abwe::core::tools::capacity::{CapacityConfig, CapacityProber};
+use abwe::core::tools::direct::{DirectConfig, DirectProber};
+use abwe::core::tools::igi::{Igi, IgiConfig};
+use abwe::core::tools::pathchirp::{Pathchirp, PathchirpConfig};
+use abwe::core::tools::pathload::{Pathload, PathloadConfig};
+use abwe::core::tools::spruce::{Spruce, SpruceConfig};
+use abwe::core::tools::topp::{Topp, ToppConfig};
+use abwe::netsim::SimDuration;
+
+const TRUTH: f64 = 25e6;
+
+fn scenario(cross: CrossKind, seed: u64) -> Scenario {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross,
+        seed,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    s
+}
+
+#[test]
+fn all_tools_agree_on_poisson_cross_traffic() {
+    // every tool on its own scenario instance; all must land in a band
+    // around the true 25 Mb/s appropriate to its technique
+    let mut results: Vec<(&str, f64, f64)> = Vec::new(); // (tool, estimate, rel tolerance)
+
+    {
+        let mut s = scenario(CrossKind::Poisson, 1);
+        let mut r = s.runner();
+        let e = DirectProber::new(DirectConfig {
+            streams: 40,
+            ..DirectConfig::canonical()
+        })
+        .run(&mut s.sim, &mut r);
+        results.push(("direct", e.avail_bps, 0.12));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 2);
+        let mut r = s.runner();
+        let e = Spruce::new(SpruceConfig::new(50e6)).run(&mut s.sim, &mut r);
+        // pair quantisation with 1500 B cross packets biases Spruce up
+        results.push(("spruce", e.avail_bps, 0.45));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 3);
+        let mut r = s.runner();
+        r.stream_gap = SimDuration::from_millis(5);
+        let rep = Topp::new(ToppConfig::default()).run(&mut s.sim, &mut r);
+        results.push(("topp", rep.avail_bps, 0.35));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 4);
+        let rep = Pathload::new(PathloadConfig::default()).run(&mut s);
+        let mid = (rep.range_bps.0 + rep.range_bps.1) / 2.0;
+        results.push(("pathload", mid, 0.25));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 5);
+        let mut r = s.runner();
+        let e = Pathchirp::new(PathchirpConfig::default()).run(&mut s.sim, &mut r);
+        results.push(("pathchirp", e.avail_bps, 0.40));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 6);
+        let mut r = s.runner();
+        let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+        results.push(("igi", rep.igi_bps, 0.35));
+        results.push(("ptr", rep.ptr_bps, 0.35));
+    }
+    {
+        let mut s = scenario(CrossKind::Poisson, 7);
+        let rep = Bfind::new(BfindConfig::default()).run(&mut s);
+        results.push(("bfind", rep.avail_bps, 0.35));
+    }
+
+    for (tool, est, tol) in results {
+        let err = (est - TRUTH).abs() / TRUTH;
+        assert!(
+            err <= tol,
+            "{tool}: estimate {:.2} Mb/s, error {:.1}% exceeds {:.0}%",
+            est / 1e6,
+            err * 100.0,
+            tol * 100.0
+        );
+    }
+}
+
+#[test]
+fn iterative_tools_underestimate_on_bursty_traffic() {
+    // Pitfall 6: burstiness biases rate-ratio tools downward; verify the
+    // direction on Pareto ON-OFF traffic for PTR (the clean rate-ratio
+    // iterative tool)
+    let mut s = scenario(CrossKind::ParetoOnOff, 21);
+    let mut r = s.runner();
+    let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+    assert!(
+        rep.ptr_bps < TRUTH * 1.1,
+        "PTR should not overestimate under bursty traffic: {:.2} Mb/s",
+        rep.ptr_bps / 1e6
+    );
+}
+
+#[test]
+fn capacity_estimate_feeds_direct_probing() {
+    // capacity tool → Ct estimate → direct probing, on a single-hop path
+    // where tight = narrow so the pipeline is self-consistent
+    let mut s = scenario(CrossKind::Poisson, 31);
+    let mut r = s.runner();
+    let cap = CapacityProber::new(CapacityConfig::default()).run(&mut s.sim, &mut r);
+    assert!(
+        (cap.capacity_bps - 50e6).abs() / 50e6 < 0.1,
+        "capacity {:.2} Mb/s",
+        cap.capacity_bps / 1e6
+    );
+    let est = DirectProber::new(DirectConfig {
+        tight_capacity_bps: cap.capacity_bps,
+        streams: 30,
+        ..DirectConfig::canonical()
+    })
+    .run(&mut s.sim, &mut r);
+    assert!(
+        (est.avail_bps - TRUTH).abs() / TRUTH < 0.15,
+        "pipeline estimate {:.2} Mb/s",
+        est.avail_bps / 1e6
+    );
+}
+
+#[test]
+fn pathload_range_narrows_on_smooth_traffic() {
+    // CBR: the avail-bw barely varies, so the range should be tight;
+    // Pareto ON-OFF: the range must be wider
+    let mut smooth = scenario(CrossKind::Cbr, 41);
+    let r_smooth = Pathload::new(PathloadConfig::default()).run(&mut smooth);
+    let w_smooth = r_smooth.range_bps.1 - r_smooth.range_bps.0;
+
+    let mut bursty = scenario(CrossKind::ParetoOnOff, 42);
+    let r_bursty = Pathload::new(PathloadConfig::default()).run(&mut bursty);
+    let w_bursty = r_bursty.range_bps.1 - r_bursty.range_bps.0;
+
+    assert!(
+        w_bursty >= w_smooth,
+        "bursty range ({:.1} Mb/s) should be at least as wide as CBR's ({:.1} Mb/s)",
+        w_bursty / 1e6,
+        w_smooth / 1e6
+    );
+}

@@ -1,0 +1,127 @@
+//! Convergence tracing demo: runs three estimators (Pathload, TOPP,
+//! IGI/PTR) on the paper's canonical single-hop scenario with a
+//! [`MemoryRecorder`] installed, then rebuilds each tool's per-iteration
+//! convergence history from the recorded events.
+//!
+//! This is the in-process counterpart of `ABW_TRACE=run.jsonl`: the same
+//! events that stream to a JSONL file can be consumed directly as typed
+//! [`OwnedEvent`]s.
+//!
+//! Usage: `cargo run --release --example trace_run`
+
+use std::sync::{Arc, Mutex};
+
+use abw_bench::{f, Format, Table};
+use abw_core::scenario::{Scenario, SingleHopConfig};
+use abw_core::tools::igi::{Igi, IgiConfig};
+use abw_core::tools::pathload::{Pathload, PathloadConfig};
+use abw_core::tools::topp::{Topp, ToppConfig};
+use abw_netsim::SimDuration;
+use abw_obs::{MemoryRecorder, OwnedEvent, OwnedValue};
+
+/// A fresh canonical single-hop scenario (50 Mb/s link, 25 Mb/s Poisson
+/// cross traffic) with a shared in-memory recorder installed.
+fn traced_scenario(seed: u64) -> (Scenario, Arc<Mutex<MemoryRecorder>>) {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        seed,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    let mem = Arc::new(Mutex::new(MemoryRecorder::new()));
+    s.sim.set_recorder(Box::new(Arc::clone(&mem)));
+    (s, mem)
+}
+
+fn fu(ev: &OwnedEvent, name: &str) -> u64 {
+    ev.field(name).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn ff(ev: &OwnedEvent, name: &str) -> f64 {
+    ev.field(name).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+}
+
+fn fs<'a>(ev: &'a OwnedEvent, name: &str) -> &'a str {
+    ev.field(name).and_then(|v| v.as_str()).unwrap_or("?")
+}
+
+fn main() {
+    println!("Canonical single hop: 50 Mb/s capacity, 25 Mb/s cross traffic");
+    println!("(true avail-bw 25 Mb/s). Convergence replayed from trace events.\n");
+
+    // -- Pathload: binary search over the rate interval --------------
+    let (mut s, mem) = traced_scenario(7);
+    let report = {
+        let mut runner = s.runner();
+        Pathload::new(PathloadConfig::quick()).run_with(&mut s.sim, &mut runner)
+    };
+    let mut table = Table::new(vec!["fleet", "rate_mbps", "verdict", "lo_mbps", "hi_mbps"]);
+    let mem = mem.lock().unwrap();
+    for ev in mem.of_kind("pathload.fleet") {
+        table.row(vec![
+            fu(ev, "iter").to_string(),
+            f(ff(ev, "rate_bps") / 1e6, 2),
+            fs(ev, "verdict").to_string(),
+            f(ff(ev, "lo_bps") / 1e6, 2),
+            f(ff(ev, "hi_bps") / 1e6, 2),
+        ]);
+    }
+    println!("Pathload — grey-region binary search, one row per fleet:");
+    table.print(Format::Text);
+    println!(
+        "reported range: [{}, {}] Mb/s\n",
+        f(report.range_bps.0 / 1e6, 2),
+        f(report.range_bps.1 / 1e6, 2),
+    );
+    drop(mem);
+
+    // -- TOPP: rate sweep looking for the turning point --------------
+    let (mut s, mem) = traced_scenario(7);
+    let report = {
+        let mut runner = s.runner();
+        runner.stream_gap = SimDuration::from_millis(5);
+        Topp::new(ToppConfig {
+            step_bps: 3e6,
+            streams_per_rate: 3,
+            ..ToppConfig::default()
+        })
+        .run(&mut s.sim, &mut runner)
+    };
+    let mut table = Table::new(vec!["round", "ri_mbps", "ro_mbps", "ri/ro"]);
+    let mem = mem.lock().unwrap();
+    for ev in mem.of_kind("topp.round") {
+        table.row(vec![
+            fu(ev, "iter").to_string(),
+            f(ff(ev, "ri_bps") / 1e6, 2),
+            f(ff(ev, "ro_bps") / 1e6, 2),
+            f(ff(ev, "ratio"), 3),
+        ]);
+    }
+    println!("TOPP — offered vs measured rate, one row per probing round:");
+    table.print(Format::Text);
+    println!("estimate: {} Mb/s\n", f(report.avail_bps / 1e6, 2));
+    drop(mem);
+
+    // -- IGI/PTR: gap equalisation ------------------------------------
+    let (mut s, mem) = traced_scenario(7);
+    let report = {
+        let mut runner = s.runner();
+        Igi::new(IgiConfig::default()).run(&mut s.sim, &mut runner)
+    };
+    let mut table = Table::new(vec!["train", "rate_mbps", "igi_mbps", "ptr_mbps", "turned"]);
+    let mem = mem.lock().unwrap();
+    for ev in mem.of_kind("igi.train") {
+        table.row(vec![
+            fu(ev, "iter").to_string(),
+            f(ff(ev, "rate_bps") / 1e6, 2),
+            f(ff(ev, "igi_bps") / 1e6, 2),
+            f(ff(ev, "ptr_bps") / 1e6, 2),
+            match ev.field("turned") {
+                Some(OwnedValue::Bool(b)) => b.to_string(),
+                _ => "?".to_string(),
+            },
+        ]);
+    }
+    println!("IGI/PTR — gap convergence, one row per probing train:");
+    table.print(Format::Text);
+    println!("IGI estimate: {} Mb/s", f(report.igi_bps / 1e6, 2));
+}

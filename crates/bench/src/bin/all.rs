@@ -1,15 +1,46 @@
 //! Runs every figure/table experiment in sequence (quick mode by
 //! default; pass `--full` for the paper-scale parameters).
 //!
+//! Children inherit `ABW_MANIFEST` unchanged (each writes its own
+//! `<name>.manifest.json`), but a shared `ABW_TRACE` path would be
+//! truncated by every child in turn — so when it is set, each child
+//! gets its own `<stem>-<bin>.jsonl` variant instead.
+//!
 //! Usage: `all [--full]`
 
+use std::path::{Path, PathBuf};
 use std::process::Command;
+
+/// `traces/run.jsonl` + `fig1` → `traces/run-fig1.jsonl`.
+fn per_child_trace(base: &Path, bin: &str) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_string());
+    let ext = base
+        .extension()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "jsonl".to_string());
+    base.with_file_name(format!("{stem}-{bin}.{ext}"))
+}
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let trace_base = std::env::var_os("ABW_TRACE").map(PathBuf::from);
     let bins = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table1", "exp_faster",
-        "exp_capacity", "exp_trend", "exp_trains", "shootout",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table1",
+        "exp_faster",
+        "exp_capacity",
+        "exp_trend",
+        "exp_trains",
+        "shootout",
     ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe directory");
@@ -21,9 +52,12 @@ fn main() {
         if !full {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| {
-            panic!("failed to launch {bin}: {e} (build the workspace first)")
-        });
+        if let Some(base) = &trace_base {
+            cmd.env("ABW_TRACE", per_child_trace(base, bin));
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build the workspace first)"));
         assert!(status.success(), "{bin} exited with {status}");
         println!();
     }

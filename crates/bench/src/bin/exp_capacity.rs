@@ -5,12 +5,16 @@
 //!
 //! Usage: `exp_capacity [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::tight_vs_narrow::{self, TightVsNarrowConfig};
 
 fn main() {
+    let mut session = Session::start("exp_capacity");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         TightVsNarrowConfig::quick()
     } else {
@@ -26,9 +30,18 @@ fn main() {
         );
     }
     let mut t = Table::new(vec!["quantity", "Mbps"]);
-    t.row(vec!["true tight capacity Ct".to_string(), f(result.true_ct_mbps, 2)]);
-    t.row(vec!["true narrow capacity Cn".to_string(), f(result.true_cn_mbps, 2)]);
-    t.row(vec!["true path avail-bw".to_string(), f(result.true_avail_mbps, 2)]);
+    t.row(vec![
+        "true tight capacity Ct".to_string(),
+        f(result.true_ct_mbps, 2),
+    ]);
+    t.row(vec![
+        "true narrow capacity Cn".to_string(),
+        f(result.true_cn_mbps, 2),
+    ]);
+    t.row(vec![
+        "true path avail-bw".to_string(),
+        f(result.true_avail_mbps, 2),
+    ]);
     t.row(vec![
         "capacity tool estimate".to_string(),
         f(result.measured_capacity_mbps, 2),
@@ -51,4 +64,5 @@ fn main() {
              estimate, while the true Ct recovers it."
         );
     }
+    session.finish();
 }

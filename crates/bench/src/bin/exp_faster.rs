@@ -4,12 +4,16 @@
 //!
 //! Usage: `exp_faster [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::latency_accuracy::{self, LatencyAccuracyConfig};
 
 fn main() {
+    let mut session = Session::start("exp_faster");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         LatencyAccuracyConfig::quick()
     } else {
@@ -51,4 +55,5 @@ fn main() {
              comparisons between tools must hold them fixed."
         );
     }
+    session.finish();
 }

@@ -3,12 +3,16 @@
 //!
 //! Usage: `exp_trains [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::train_length::{self, TrainLengthConfig};
 
 fn main() {
+    let mut session = Session::start("exp_trains");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         TrainLengthConfig::quick()
     } else {
@@ -49,4 +53,5 @@ fn main() {
              traffic that defeats packet pairs (Table 1)."
         );
     }
+    session.finish();
 }

@@ -4,12 +4,16 @@
 //!
 //! Usage: `exp_trend [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::trend_thresholds::{self, TrendThresholdsConfig};
 
 fn main() {
+    let mut session = Session::start("exp_trend");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         TrendThresholdsConfig::quick()
     } else {
@@ -45,4 +49,5 @@ fn main() {
              extremes."
         );
     }
+    session.finish();
 }

@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig1 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::variability::{self, VariabilityConfig};
 
 fn main() {
+    let mut session = Session::start("fig1");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         VariabilityConfig::quick()
     } else {
@@ -26,10 +30,17 @@ fn main() {
     }
 
     // the CDF curves, on a fixed grid of error values
-    let mut curve = Table::new(vec!["rel_error".to_string()]
-        .into_iter()
-        .chain(result.curves.iter().map(|c| format!("cdf_tau_{}ms", c.tau_ms)))
-        .collect::<Vec<_>>());
+    let mut curve = Table::new(
+        vec!["rel_error".to_string()]
+            .into_iter()
+            .chain(
+                result
+                    .curves
+                    .iter()
+                    .map(|c| format!("cdf_tau_{}ms", c.tau_ms)),
+            )
+            .collect::<Vec<_>>(),
+    );
     let grid: Vec<f64> = (-25..=25).map(|i| i as f64 / 100.0).collect();
     for x in grid {
         let mut cells = vec![f(x, 2)];
@@ -64,4 +75,5 @@ fn main() {
              20 samples routinely miss by more than 5%."
         );
     }
+    session.finish();
 }

@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig2 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::timescale_knob::{self, TimescaleConfig};
 
 fn main() {
+    let mut session = Session::start("fig2");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         TimescaleConfig::quick()
     } else {
@@ -47,4 +51,5 @@ fn main() {
              duration is the timescale knob, not an implementation detail."
         );
     }
+    session.finish();
 }

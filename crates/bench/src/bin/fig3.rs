@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig3 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::burstiness::{self, BurstinessConfig};
 
 fn main() {
+    let mut session = Session::start("fig3");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         BurstinessConfig::quick()
     } else {
@@ -53,4 +57,5 @@ fn main() {
              cross-traffic-dependent."
         );
     }
+    session.finish();
 }

@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig4 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::multi_bottleneck::{self, MultiBottleneckConfig};
 
 fn main() {
+    let mut session = Session::start("fig4");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         MultiBottleneckConfig::quick()
     } else {
@@ -45,7 +49,11 @@ fn main() {
         println!();
         for c in &result.curves {
             if let Some(r) = c.ratio_at(25.0) {
-                println!("{} tight links: Ro/Ri at Ri = A is {}", c.tight_links, f(r, 4));
+                println!(
+                    "{} tight links: Ro/Ri at Ri = A is {}",
+                    c.tight_links,
+                    f(r, 4)
+                );
             }
         }
         println!(
@@ -54,4 +62,5 @@ fn main() {
              cross traffic."
         );
     }
+    session.finish();
 }

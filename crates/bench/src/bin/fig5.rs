@@ -6,12 +6,16 @@
 //!
 //! Usage: `fig5 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::owd_vs_rate::{self, OwdVsRateConfig};
 
 fn main() {
+    let mut session = Session::start("fig5");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         OwdVsRateConfig::quick()
     } else {
@@ -25,7 +29,10 @@ fn main() {
         .unwrap_or(&result.series_below);
 
     if format == Format::Text {
-        println!("Figure 5: relative OWDs of two {}-packet streams\n", config.packets_per_stream);
+        println!(
+            "Figure 5: relative OWDs of two {}-packet streams\n",
+            config.packets_per_stream
+        );
         println!(
             "stream A: Ri = {} Mb/s (> A)  Ro = {} Mb/s  trend = {:?}",
             f(result.series_above.ri_mbps, 1),
@@ -46,19 +53,16 @@ fn main() {
     }
 
     let mut t = Table::new(vec!["packet", "owd_above_ms", "owd_below_ms"]);
-    for (i, (a, b)) in result
-        .series_above
-        .owds
-        .iter()
-        .zip(&below.owds)
-        .enumerate()
-    {
+    for (i, (a, b)) in result.series_above.owds.iter().zip(&below.owds).enumerate() {
         t.row(vec![i.to_string(), f(a * 1e3, 3), f(b * 1e3, 3)]);
     }
     t.print(format);
 
     if format == Format::Text {
-        println!("\nInference error rates over {} streams per rate:", config.streams);
+        println!(
+            "\nInference error rates over {} streams per rate:",
+            config.streams
+        );
         let mut s = Table::new(vec![
             "Ri_Mbps",
             "truly_above",
@@ -82,4 +86,5 @@ fn main() {
              correct — the OWD series carries more information than one ratio."
         );
     }
+    session.finish();
 }

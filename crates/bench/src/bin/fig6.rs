@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig6 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::variation_range::{self, VariationRangeConfig};
 
 fn main() {
+    let mut session = Session::start("fig6");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         VariationRangeConfig::quick()
     } else {
@@ -52,4 +56,5 @@ fn main() {
              the mean."
         );
     }
+    session.finish();
 }

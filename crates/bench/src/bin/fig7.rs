@@ -4,12 +4,16 @@
 //!
 //! Usage: `fig7 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::tcp_throughput::{self, TcpThroughputConfig};
 
 fn main() {
+    let mut session = Session::start("fig7");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         TcpThroughputConfig::quick()
     } else {
@@ -39,7 +43,10 @@ fn main() {
     t.print(format);
 
     if format == Format::Text {
-        println!("\navail-bw reference line: {} Mb/s", f(result.avail_mbps, 1));
+        println!(
+            "\navail-bw reference line: {} Mb/s",
+            f(result.avail_mbps, 1)
+        );
         for c in &result.curves {
             println!(
                 "{:?}: saturates at {} Mb/s ({})",
@@ -60,4 +67,5 @@ fn main() {
              validate avail-bw estimates."
         );
     }
+    session.finish();
 }

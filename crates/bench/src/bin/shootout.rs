@@ -4,14 +4,18 @@
 //!
 //! Usage: `shootout [--csv] [--quick] [--cross cbr|poisson|pareto]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::shootout::{self, ShootoutConfig};
 use abw_core::scenario::CrossKind;
 
 fn main() {
+    let mut session = Session::start("shootout");
     let format = format_from_args();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let cross = match args
         .iter()
         .position(|a| a == "--cross")
@@ -69,4 +73,5 @@ fn main() {
              meaningless without holding those knobs fixed."
         );
     }
+    session.finish();
 }

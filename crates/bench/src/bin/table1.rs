@@ -4,12 +4,16 @@
 //!
 //! Usage: `table1 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Table};
+use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::pairs_vs_trains::{self, PairsVsTrainsConfig};
 
 fn main() {
+    let mut session = Session::start("table1");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
     let config = if quick {
         PairsVsTrainsConfig::quick()
     } else {
@@ -48,4 +52,5 @@ fn main() {
              traffic's packet-size granularity, trains average it out."
         );
     }
+    session.finish();
 }

@@ -8,8 +8,108 @@
 //! Binaries print the same rows/series the paper reports, as aligned
 //! text tables; pass `--csv` to any binary to get comma-separated output
 //! instead (for plotting).
+//!
+//! ## Observability
+//!
+//! Every binary opens a [`Session`], which reads two environment
+//! variables:
+//!
+//! * `ABW_TRACE=path.jsonl` — installs a process-global JSONL recorder;
+//!   every simulator the run creates streams its events there
+//!   (byte-identical across runs with the same seeds);
+//! * `ABW_MANIFEST=dir` — writes `dir/<name>.manifest.json` describing
+//!   the run (version, parameters, wall-clock time) when the session
+//!   finishes.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use abw_obs::{JsonlRecorder, RunManifest};
+
+/// One experiment-binary run: wires `ABW_TRACE` / `ABW_MANIFEST` into
+/// the observability layer and owns the run's [`RunManifest`].
+///
+/// Call [`Session::start`] first thing in `main` and
+/// [`Session::finish`] last; everything in between is optional.
+pub struct Session {
+    manifest: RunManifest,
+    manifest_dir: Option<PathBuf>,
+    tracing: bool,
+    started: Instant,
+}
+
+impl Session {
+    /// Starts a session for the binary `name`, reading `ABW_TRACE` and
+    /// `ABW_MANIFEST` from the environment. Trace-file errors are
+    /// reported to stderr and disable tracing rather than aborting the
+    /// experiment.
+    pub fn start(name: &str) -> Session {
+        Session::start_with(
+            name,
+            std::env::var_os("ABW_TRACE").map(PathBuf::from),
+            std::env::var_os("ABW_MANIFEST").map(PathBuf::from),
+        )
+    }
+
+    /// [`Session::start`] with explicit destinations (testable without
+    /// touching the process environment).
+    pub fn start_with(
+        name: &str,
+        trace_path: Option<PathBuf>,
+        manifest_dir: Option<PathBuf>,
+    ) -> Session {
+        let mut tracing = false;
+        if let Some(path) = trace_path {
+            match JsonlRecorder::create(&path) {
+                Ok(recorder) => {
+                    abw_obs::global::set_global(recorder);
+                    tracing = true;
+                }
+                Err(e) => eprintln!("ABW_TRACE: cannot create {}: {e}", path.display()),
+            }
+        }
+        if manifest_dir.is_some() {
+            // every simulator the run creates folds its totals in on drop
+            abw_obs::global::begin_manifest_capture();
+        }
+        Session {
+            manifest: RunManifest::new(name),
+            manifest_dir,
+            tracing,
+            started: Instant::now(),
+        }
+    }
+
+    /// The run manifest, for recording seeds and parameters.
+    pub fn manifest(&mut self) -> &mut RunManifest {
+        &mut self.manifest
+    }
+
+    /// True when `ABW_TRACE` installed a recorder.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Finishes the session: flushes and uninstalls the global
+    /// recorder, absorbs the simulation totals captured while the run
+    /// executed, stamps the wall-clock time, and writes the manifest
+    /// when `ABW_MANIFEST` was set.
+    pub fn finish(mut self) {
+        if self.tracing {
+            abw_obs::global::clear_global();
+        }
+        if let Some(captured) = abw_obs::global::take_manifest() {
+            self.manifest.absorb(captured);
+        }
+        self.manifest.wall_time_secs = self.started.elapsed().as_secs_f64();
+        if let Some(dir) = self.manifest_dir.take() {
+            if let Err(e) = self.manifest.write_to(&dir) {
+                eprintln!("ABW_MANIFEST: cannot write to {}: {e}", dir.display());
+            }
+        }
+    }
+}
 
 /// Output format selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,5 +234,27 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(vec!["x"]);
         t.row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn session_captures_sim_totals_on_drop() {
+        let dir = std::env::temp_dir().join(format!("abw-session-test-{}", std::process::id()));
+        let mut session = Session::start_with("session-test", None, Some(dir.clone()));
+        session.manifest().param_str("mode", "test");
+        {
+            let mut sim = abw_netsim::Simulator::new();
+            let _ = sim.add_link(abw_netsim::LinkConfig::new(
+                1e6,
+                abw_netsim::SimDuration::ZERO,
+            ));
+            sim.run_until(abw_netsim::SimTime::from_nanos(5));
+        } // dropped here → folds into the session's global capture
+        session.finish();
+        let json = std::fs::read_to_string(dir.join("session-test.manifest.json"))
+            .expect("manifest written");
+        assert!(json.contains("\"injected\":0"), "{json}");
+        assert!(json.contains("\"link\":\"0\""), "{json}");
+        assert!(json.contains("\"mode\":\"test\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

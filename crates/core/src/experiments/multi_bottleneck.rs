@@ -94,11 +94,8 @@ pub fn run(config: &MultiBottleneckConfig) -> MultiBottleneckResult {
         .tight_link_counts
         .iter()
         .map(|&n| {
-            let mut s = Scenario::multi_tight(
-                n,
-                CrossKind::Poisson,
-                config.seed.wrapping_add(n as u64),
-            );
+            let mut s =
+                Scenario::multi_tight(n, CrossKind::Poisson, config.seed.wrapping_add(n as u64));
             s.warm_up(SimDuration::from_millis(500));
             let mut runner = s.runner();
             runner.stream_gap = SimDuration::from_millis(10);

@@ -123,7 +123,9 @@ pub fn run(config: &OwdVsRateConfig) -> OwdVsRateResult {
         let mut misleading: Option<OwdSeries> = None;
         for _ in 0..config.streams {
             let r = runner.run_stream(&mut s.sim, &spec);
-            let Some(ratio) = r.rate_ratio() else { continue };
+            let Some(ratio) = r.rate_ratio() else {
+                continue;
+            };
             let verdict = analyzer.classify(&r.owds());
             let expanded = ratio < 1.0 - config.rate_tolerance;
             if expanded {
@@ -145,10 +147,7 @@ pub fn run(config: &OwdVsRateConfig) -> OwdVsRateResult {
             }
             // the Figure 5 counterexample: Ro < Ri while the trend test
             // (correctly) sees no increasing trend
-            if !truly_above
-                && expanded
-                && verdict == TrendVerdict::NoTrend
-                && misleading.is_none()
+            if !truly_above && expanded && verdict == TrendVerdict::NoTrend && misleading.is_none()
             {
                 misleading = Some(series());
             }

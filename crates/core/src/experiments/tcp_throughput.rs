@@ -225,11 +225,7 @@ mod tests {
         // Wr = 4: throughput ≈ 4*1500*8/40ms = 1.2 Mb/s « avail-bw
         for c in &r.curves {
             let g = c.at(4).unwrap();
-            assert!(
-                g < r.avail_mbps * 0.5,
-                "{:?}: Wr=4 gives {g} Mb/s",
-                c.cross
-            );
+            assert!(g < r.avail_mbps * 0.5, "{:?}: Wr=4 gives {g} Mb/s", c.cross);
         }
     }
 

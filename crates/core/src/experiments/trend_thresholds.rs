@@ -188,11 +188,7 @@ mod tests {
     fn pathload_defaults_are_a_reasonable_middle() {
         let r = run(&TrendThresholdsConfig::quick());
         let pathload = r.points.iter().find(|p| p.name == "pathload").unwrap();
-        assert!(
-            pathload.detection > 0.5,
-            "detection {}",
-            pathload.detection
-        );
+        assert!(pathload.detection > 0.5, "detection {}", pathload.detection);
         // bursty cross traffic produces genuine transient OWD trends
         // below A (Pitfall 6 in trend space), so the false-positive rate
         // is non-zero even at the published thresholds

@@ -101,7 +101,10 @@ pub fn run(config: &VariationRangeConfig) -> VariationRangeResult {
     // (b) the active view: Pathload against a live link with identical
     // traffic
     let mut sim = Simulator::new();
-    let link = sim.add_link(LinkConfig::new(config.trace.capacity_bps, SimDuration::ZERO));
+    let link = sim.add_link(LinkConfig::new(
+        config.trace.capacity_bps,
+        SimDuration::ZERO,
+    ));
     let path = sim.add_path(vec![link]);
     let sink = sim.add_agent(Box::new(abw_netsim::CountingSink::new()));
     spawn_trace_sources(&mut sim, path, sink, &config.trace);

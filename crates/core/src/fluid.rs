@@ -113,10 +113,7 @@ mod tests {
         for ri in [26e6, 30e6, 40e6, 49e6, 80e6] {
             let ro = output_rate(CT, ri, A);
             let est = direct_probing_estimate(CT, ri, ro);
-            assert!(
-                (est - A).abs() < 1.0,
-                "Ri = {ri}: estimate {est} != {A}"
-            );
+            assert!((est - A).abs() < 1.0, "Ri = {ri}: estimate {est} != {A}");
         }
     }
 

@@ -264,7 +264,8 @@ impl ProbeRunner {
         let id = self.next_stream_id;
         self.next_stream_id += 1;
 
-        sim.agent_mut::<ProbeSender>(self.sender).arm(spec.clone(), id);
+        sim.agent_mut::<ProbeSender>(self.sender)
+            .arm(spec.clone(), id);
         let launch_at = sim.now() + self.stream_gap;
         sim.schedule_timer(self.sender, launch_at, TOKEN_LAUNCH);
 

@@ -148,9 +148,7 @@ impl Scenario {
             }
             let cross_path = sim.add_path(vec![links[i]]);
             let cross_sink = sim.add_agent(Box::new(CountingSink::new()));
-            let hop_seed = seed
-                .wrapping_add(i as u64)
-                .wrapping_mul(0x9E3779B97F4A7C15);
+            let hop_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
             let process = make_process(hop, hop_seed);
             sim.add_agent(Box::new(SourceAgent::new(
                 process,
@@ -188,7 +186,9 @@ impl Scenario {
     /// all with the given cross model.
     pub fn multi_tight(tight_links: usize, cross: CrossKind, seed: u64) -> Self {
         assert!(tight_links >= 1);
-        let hops = (0..tight_links).map(|_| HopSpec::canonical(cross)).collect();
+        let hops = (0..tight_links)
+            .map(|_| HopSpec::canonical(cross))
+            .collect();
         Scenario::from_hops(hops, seed)
     }
 
@@ -266,7 +266,11 @@ impl Scenario {
     /// Ground-truth avail-bw process of hop `i` from the end of warm-up
     /// to the current simulation time.
     pub fn ground_truth(&self, hop: usize) -> AvailBw {
-        AvailBw::from_link(self.sim.link(self.links[hop]), self.measure_from, self.sim.now())
+        AvailBw::from_link(
+            self.sim.link(self.links[hop]),
+            self.measure_from,
+            self.sim.now(),
+        )
     }
 
     /// Ground-truth *path* avail-bw over `(a, b)`: the minimum over hops
@@ -274,9 +278,7 @@ impl Scenario {
     pub fn path_avail_bps(&self, a: SimTime, b: SimTime) -> f64 {
         self.links
             .iter()
-            .map(|&l| {
-                AvailBw::from_link(self.sim.link(l), a, b).mean()
-            })
+            .map(|&l| AvailBw::from_link(self.sim.link(l), a, b).mean())
             .fold(f64::INFINITY, f64::min)
     }
 }

@@ -115,7 +115,9 @@ impl StreamSpec {
             } => {
                 assert!(count >= 2, "a stream needs at least 2 packets");
                 let gap = gap_for_rate(size, rate_bps);
-                (0..count as u64).map(|k| SimDuration::from_nanos(gap.as_nanos() * k)).collect()
+                (0..count as u64)
+                    .map(|k| SimDuration::from_nanos(gap.as_nanos() * k))
+                    .collect()
             }
             StreamSpec::Pair { rate_bps, size } => {
                 vec![SimDuration::ZERO, gap_for_rate(size, rate_bps)]

@@ -284,6 +284,14 @@ impl Bfind {
                     break;
                 }
             }
+            sim.emit(
+                "bfind.epoch",
+                &[
+                    ("iter", (epochs.len() - 1).into()),
+                    ("rate_bps", rate.into()),
+                    ("flagged_hop", flagged.map_or(-1i64, |h| h as i64).into()),
+                ],
+            );
             if let Some(hop) = flagged {
                 result = Some((rate - self.config.rate_step_bps, hop));
                 break;

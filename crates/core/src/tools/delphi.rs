@@ -14,9 +14,9 @@
 //! Equation 9 degenerate), so Delphi probes at `headroom × estimate`,
 //! keeping the train slightly into the overload regime.
 
-use abw_netsim::Simulator;
 #[cfg(test)]
 use abw_netsim::SimDuration;
+use abw_netsim::Simulator;
 use abw_stats::running::Running;
 
 use crate::fluid::direct_probing_estimate;
@@ -154,6 +154,15 @@ impl Delphi {
                     estimate = estimate.max(rate);
                 }
             }
+            sim.emit(
+                "delphi.train",
+                &[
+                    ("iter", steps.len().into()),
+                    ("ri_bps", rate.into()),
+                    ("sample_bps", sample.unwrap_or(f64::NAN).into()),
+                    ("estimate_bps", estimate.into()),
+                ],
+            );
             steps.push(DelphiStep {
                 ri_bps: rate,
                 sample_bps: sample,

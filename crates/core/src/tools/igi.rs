@@ -136,9 +136,21 @@ impl Igi {
                 last = Some((igi, ptr, rate, iteration));
                 // turning point: output gaps no longer exceed input gaps
                 let gaps = result.pair_gaps();
-                let avg_out: f64 =
-                    gaps.iter().map(|&(_, g)| g).sum::<f64>() / gaps.len() as f64;
-                if avg_out <= g_in * (1.0 + self.config.tolerance) {
+                let avg_out: f64 = gaps.iter().map(|&(_, g)| g).sum::<f64>() / gaps.len() as f64;
+                let turned = avg_out <= g_in * (1.0 + self.config.tolerance);
+                sim.emit(
+                    "igi.train",
+                    &[
+                        ("iter", u64::from(iteration).into()),
+                        ("rate_bps", rate.into()),
+                        ("g_in_s", g_in.into()),
+                        ("avg_g_out_s", avg_out.into()),
+                        ("igi_bps", igi.into()),
+                        ("ptr_bps", ptr.into()),
+                        ("turned", turned.into()),
+                    ],
+                );
+                if turned {
                     return IgiReport {
                         igi_bps: igi,
                         ptr_bps: ptr,
@@ -151,8 +163,7 @@ impl Igi {
             rate /= self.config.gap_growth;
         }
         // never converged: report the last train's numbers
-        let (igi, ptr, rate, iterations) =
-            last.expect("at least one train must produce gaps");
+        let (igi, ptr, rate, iterations) = last.expect("at least one train must produce gaps");
         IgiReport {
             igi_bps: igi,
             ptr_bps: ptr,

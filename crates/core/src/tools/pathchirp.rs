@@ -117,11 +117,20 @@ impl Pathchirp {
         };
         let mut samples = Running::new();
         let mut packets = 0u64;
-        for _ in 0..self.config.chirps {
+        for chirp in 0..self.config.chirps {
             let result = runner.run_stream(sim, &spec);
             packets += spec.count() as u64;
             if let Some(e) = self.chirp_estimate(&result) {
                 samples.push(e);
+                sim.emit(
+                    "pathchirp.chirp",
+                    &[
+                        ("iter", u64::from(chirp).into()),
+                        ("estimate_bps", e.into()),
+                        ("running_mean_bps", samples.mean().into()),
+                        ("received", result.received().into()),
+                    ],
+                );
             }
         }
         Estimate {

@@ -85,6 +85,17 @@ pub enum FleetVerdict {
     Grey,
 }
 
+impl FleetVerdict {
+    /// Lower-case label, as used in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FleetVerdict::Above => "above",
+            FleetVerdict::Below => "below",
+            FleetVerdict::Grey => "grey",
+        }
+    }
+}
+
 /// Pathload's result: the variation range and the search trace.
 #[derive(Debug, Clone)]
 pub struct PathloadReport {
@@ -202,11 +213,31 @@ impl Pathload {
                     hi = (rate + quarter).min(hi);
                 }
             }
+            sim.emit(
+                "pathload.fleet",
+                &[
+                    ("iter", (fleets.len() - 1).into()),
+                    ("rate_bps", rate.into()),
+                    ("verdict", verdict.as_str().into()),
+                    ("inc_fraction", fraction.into()),
+                    ("lo_bps", lo.into()),
+                    ("hi_bps", hi.into()),
+                ],
+            );
         }
 
         // widen the final bracket by any grey rates seen outside it
         let range_lo = lo.min(grey_lo);
         let range_hi = hi.max(grey_hi);
+        sim.emit(
+            "pathload.result",
+            &[
+                ("lo_bps", range_lo.into()),
+                ("hi_bps", range_hi.into()),
+                ("fleets", fleets.len().into()),
+                ("packets", packets.into()),
+            ],
+        );
         PathloadReport {
             range_bps: (range_lo, range_hi),
             fleets,
@@ -238,7 +269,11 @@ mod tests {
         let (lo, hi) = report.range_bps;
         assert!(lo <= 25e6 + 3e6, "low bound {:.1} Mb/s", lo / 1e6);
         assert!(hi >= 25e6 - 3e6, "high bound {:.1} Mb/s", hi / 1e6);
-        assert!(hi - lo <= 10e6, "range too wide: {:.1} Mb/s", (hi - lo) / 1e6);
+        assert!(
+            hi - lo <= 10e6,
+            "range too wide: {:.1} Mb/s",
+            (hi - lo) / 1e6
+        );
     }
 
     #[test]

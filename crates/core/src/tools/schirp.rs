@@ -8,9 +8,9 @@
 //! robustness to packet-scale noise — the same latency/accuracy dial as
 //! everywhere else in this area (Fallacy 3).
 
-use abw_netsim::Simulator;
 #[cfg(test)]
 use abw_netsim::SimDuration;
+use abw_netsim::Simulator;
 use abw_stats::running::Running;
 
 use crate::probe::{ProbeRunner, StreamResult};

@@ -97,6 +97,14 @@ impl Spruce {
             packets += 2;
             if let Some(a) = self.sample(&result) {
                 samples.push(a.max(0.0));
+                sim.emit(
+                    "spruce.pair",
+                    &[
+                        ("iter", (samples.count() - 1).into()),
+                        ("sample_bps", a.into()),
+                        ("running_mean_bps", samples.mean().into()),
+                    ],
+                );
             }
         }
         runner.stream_gap = saved_gap;

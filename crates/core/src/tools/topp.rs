@@ -125,6 +125,15 @@ impl Topp {
             }
             if gout.count() > 0 {
                 let ro_mean = self.config.packet_size as f64 * 8.0 / gout.mean();
+                sim.emit(
+                    "topp.round",
+                    &[
+                        ("iter", points.len().into()),
+                        ("ri_bps", rate.into()),
+                        ("ro_bps", ro_mean.into()),
+                        ("ratio", (rate / ro_mean).into()),
+                    ],
+                );
                 points.push(ToppPoint {
                     ri_bps: rate,
                     ro_bps: ro_mean,
@@ -133,7 +142,20 @@ impl Topp {
             }
             rate += self.config.step_bps;
         }
-        self.analyse(points, packets)
+        let report = self.analyse(points, packets);
+        sim.emit(
+            "topp.result",
+            &[
+                ("avail_bps", report.avail_bps.into()),
+                (
+                    "tight_capacity_bps",
+                    report.tight_capacity_bps.unwrap_or(f64::NAN).into(),
+                ),
+                ("turning_rate_bps", report.turning_rate_bps.into()),
+                ("rounds", report.points.len().into()),
+            ],
+        );
+        report
     }
 
     /// Turning-point analysis over a completed sweep.
@@ -171,10 +193,8 @@ impl Topp {
                 Some(fit) if fit.slope > 0.0 && fit.r2 >= 0.6 => {
                     let ct = 1.0 / fit.slope;
                     let a = ct * (1.0 - fit.intercept);
-                    let sane = a > 0.0
-                        && a < ct
-                        && a >= base_avail * 0.5
-                        && a <= turning_rate * 1.5;
+                    let sane =
+                        a > 0.0 && a < ct && a >= base_avail * 0.5 && a <= turning_rate * 1.5;
                     if sane {
                         (a, Some(ct))
                     } else {

@@ -8,6 +8,8 @@
 
 use std::any::Any;
 
+use abw_obs::{Event as ObsEvent, Field, Phase, Recorder};
+
 use crate::event::{Event, EventQueue};
 use crate::packet::{AgentId, Packet, PathId};
 use crate::time::{SimDuration, SimTime};
@@ -35,6 +37,7 @@ pub struct Ctx<'a> {
     pub(crate) events: &'a mut EventQueue,
     pub(crate) next_packet_id: &'a mut u64,
     pub(crate) injected: &'a mut u64,
+    pub(crate) recorder: Option<&'a mut (dyn Recorder + 'static)>,
 }
 
 impl Ctx<'_> {
@@ -46,6 +49,27 @@ impl Ctx<'_> {
     /// The id of the agent being called.
     pub fn self_id(&self) -> AgentId {
         self.agent
+    }
+
+    /// True when the simulation has a recorder installed — lets agents
+    /// skip building expensive event fields.
+    pub fn recorder_active(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Emits a point event at the current simulation time (dropped when
+    /// the simulation is untraced). Used by agents — TCP senders emit
+    /// `tcp.cwnd`, probing endpoints emit stream milestones.
+    #[inline]
+    pub fn emit(&mut self, kind: &'static str, fields: &[Field<'_>]) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(&ObsEvent {
+                t_ns: self.now.as_nanos(),
+                kind,
+                phase: Phase::Instant,
+                fields,
+            });
+        }
     }
 
     /// Sends `packet` onto the first link of its path, right now.

@@ -98,9 +98,27 @@ mod tests {
     #[test]
     fn time_order() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_nanos(30), Event::Timer { agent: AgentId(0), token: 3 });
-        q.push(SimTime::from_nanos(10), Event::Timer { agent: AgentId(0), token: 1 });
-        q.push(SimTime::from_nanos(20), Event::Timer { agent: AgentId(0), token: 2 });
+        q.push(
+            SimTime::from_nanos(30),
+            Event::Timer {
+                agent: AgentId(0),
+                token: 3,
+            },
+        );
+        q.push(
+            SimTime::from_nanos(10),
+            Event::Timer {
+                agent: AgentId(0),
+                token: 1,
+            },
+        );
+        q.push(
+            SimTime::from_nanos(20),
+            Event::Timer {
+                agent: AgentId(0),
+                token: 2,
+            },
+        );
         let mut tokens = Vec::new();
         while let Some((_, ev)) = q.pop() {
             if let Event::Timer { token, .. } = ev {
@@ -115,7 +133,13 @@ mod tests {
         let mut q = EventQueue::new();
         let t = SimTime::from_nanos(5);
         for token in 0..100 {
-            q.push(t, Event::Timer { agent: AgentId(0), token });
+            q.push(
+                t,
+                Event::Timer {
+                    agent: AgentId(0),
+                    token,
+                },
+            );
         }
         let mut tokens = Vec::new();
         while let Some((_, Event::Timer { token, .. })) = q.pop() {

@@ -9,6 +9,9 @@
 
 use std::collections::VecDeque;
 
+use abw_obs::manifest::LinkSnapshot;
+use abw_obs::metrics::LogLinearHistogram;
+
 use crate::packet::Packet;
 use crate::time::{transmission_time, SimDuration, SimTime};
 
@@ -129,6 +132,13 @@ pub struct Link {
     tx_started_at: SimTime,
     counters: LinkCounters,
     busy: BusyLog,
+    /// Largest queue depth seen, in packets (including the one in
+    /// service). Tracked unconditionally — it is two instructions.
+    peak_queue_pkts: u64,
+    /// Queue-depth distribution, in packets. Populated only while the
+    /// owning simulator has a recorder installed, so the untraced hot
+    /// path never pays for it.
+    depth_hist: Option<Box<LogLinearHistogram>>,
 }
 
 impl Link {
@@ -142,6 +152,8 @@ impl Link {
             tx_started_at: SimTime::ZERO,
             counters: LinkCounters::default(),
             busy: BusyLog::default(),
+            peak_queue_pkts: 0,
+            depth_hist: None,
         }
     }
 
@@ -168,6 +180,44 @@ impl Link {
     /// Recorded busy intervals (empty when recording is disabled).
     pub fn busy_log(&self) -> &BusyLog {
         &self.busy
+    }
+
+    /// Largest queue depth seen so far, in packets (including the
+    /// packet in service).
+    pub fn peak_queue_pkts(&self) -> u64 {
+        self.peak_queue_pkts
+    }
+
+    /// Starts sampling the queue depth into a histogram on every
+    /// enqueue. Idempotent; called by the simulator when a recorder is
+    /// installed.
+    pub fn enable_depth_histogram(&mut self) {
+        if self.depth_hist.is_none() {
+            self.depth_hist = Some(Box::new(LogLinearHistogram::for_depth()));
+        }
+    }
+
+    /// The queue-depth histogram, when depth sampling is enabled.
+    pub fn depth_histogram(&self) -> Option<&LogLinearHistogram> {
+        self.depth_hist.as_deref()
+    }
+
+    /// This link's state as a manifest [`LinkSnapshot`].
+    pub fn snapshot(&self, name: impl Into<String>) -> LinkSnapshot {
+        LinkSnapshot {
+            link: name.into(),
+            capacity_bps: self.config.capacity_bps as u64,
+            forwarded_pkts: self.counters.forwarded_pkts,
+            forwarded_bytes: self.counters.forwarded_bytes,
+            dropped_pkts: self.counters.dropped_pkts,
+            dropped_bytes: self.counters.dropped_bytes,
+            peak_queue_pkts: self.peak_queue_pkts,
+            queue_depth_summary: self
+                .depth_hist
+                .as_deref()
+                .filter(|h| h.count() > 0)
+                .map(|h| h.summary_json()),
+        }
     }
 
     /// Bytes currently waiting (not counting the packet in service).
@@ -202,6 +252,11 @@ impl Link {
         }
         self.queued_bytes += packet.size as u64;
         self.queue.push_back(packet);
+        let depth = self.queue.len() as u64;
+        self.peak_queue_pkts = self.peak_queue_pkts.max(depth);
+        if let Some(hist) = self.depth_hist.as_deref_mut() {
+            hist.record(depth);
+        }
         EnqueueOutcome::Accepted {
             starts_service: !self.transmitting,
         }
@@ -214,7 +269,10 @@ impl Link {
     /// both indicate an event-loop bug.
     pub fn start_transmission(&mut self, now: SimTime) -> SimTime {
         assert!(!self.transmitting, "link already transmitting");
-        let head = self.queue.front().expect("start_transmission on empty queue");
+        let head = self
+            .queue
+            .front()
+            .expect("start_transmission on empty queue");
         self.transmitting = true;
         self.tx_started_at = now;
         now + transmission_time(head.size, self.config.capacity_bps)

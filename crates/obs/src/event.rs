@@ -1,0 +1,209 @@
+//! Events: the unit of tracing.
+//!
+//! An [`Event`] is a borrowed view — a timestamp, a static kind, a
+//! phase, and a slice of key/value fields — so emitting one allocates
+//! nothing. Sinks that buffer (e.g. `MemoryRecorder`) convert to
+//! [`OwnedEvent`].
+
+use std::fmt;
+
+/// A field value. Borrowed strings keep the emit path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String slice.
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value<'_> {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value<'_> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// One named field of an event.
+pub type Field<'a> = (&'static str, Value<'a>);
+
+/// Span phase of an event (Chrome-trace-style semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A point event.
+    Instant,
+    /// The opening edge of a span.
+    Begin,
+    /// The closing edge of a span.
+    End,
+}
+
+impl Phase {
+    /// The single-letter JSON encoding (`i`/`B`/`E`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Phase::Instant => "i",
+            Phase::Begin => "B",
+            Phase::End => "E",
+        }
+    }
+}
+
+/// A borrowed event, as passed to [`crate::Recorder::record`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Timestamp in simulated nanoseconds.
+    pub t_ns: u64,
+    /// Static event kind, dot-namespaced (`link.enqueue`,
+    /// `pathload.fleet`, …).
+    pub kind: &'static str,
+    /// Span phase.
+    pub phase: Phase,
+    /// Key/value payload.
+    pub fields: &'a [Field<'a>],
+}
+
+/// An owned copy of an [`Event`], as buffered by `MemoryRecorder`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Timestamp in simulated nanoseconds.
+    pub t_ns: u64,
+    /// Event kind.
+    pub kind: String,
+    /// Span phase.
+    pub phase: Phase,
+    /// Key/value payload (values with owned strings).
+    pub fields: Vec<(String, OwnedValue)>,
+}
+
+/// Owned counterpart of [`Value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl OwnedValue {
+    /// The value as `u64`, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            OwnedValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            OwnedValue::F64(v) => Some(*v),
+            OwnedValue::U64(v) => Some(*v as f64),
+            OwnedValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OwnedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<Value<'_>> for OwnedValue {
+    fn from(v: Value<'_>) -> Self {
+        match v {
+            Value::U64(x) => OwnedValue::U64(x),
+            Value::I64(x) => OwnedValue::I64(x),
+            Value::F64(x) => OwnedValue::F64(x),
+            Value::Str(s) => OwnedValue::Str(s.to_string()),
+            Value::Bool(b) => OwnedValue::Bool(b),
+        }
+    }
+}
+
+impl OwnedEvent {
+    /// Copies a borrowed event.
+    pub fn from_event(ev: &Event<'_>) -> Self {
+        OwnedEvent {
+            t_ns: ev.t_ns,
+            kind: ev.kind.to_string(),
+            phase: ev.phase,
+            fields: ev
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), OwnedValue::from(*v)))
+                .collect(),
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for OwnedEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ns] {} ({})",
+            self.t_ns,
+            self.kind,
+            self.phase.code()
+        )?;
+        for (k, v) in &self.fields {
+            match v {
+                OwnedValue::U64(x) => write!(f, " {k}={x}")?,
+                OwnedValue::I64(x) => write!(f, " {k}={x}")?,
+                OwnedValue::F64(x) => write!(f, " {k}={x}")?,
+                OwnedValue::Str(s) => write!(f, " {k}={s}")?,
+                OwnedValue::Bool(b) => write!(f, " {k}={b}")?,
+            }
+        }
+        Ok(())
+    }
+}

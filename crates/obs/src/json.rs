@@ -1,0 +1,153 @@
+//! Minimal deterministic JSON emission (no serde — the build is
+//! offline).
+//!
+//! Floats use Rust's shortest-round-trip `Display`, which is fully
+//! deterministic, so a trace written twice from the same seeds is
+//! byte-identical. Non-finite floats become `null` (JSON has no
+//! NaN/inf).
+
+use std::fmt::Write;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`; non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // bare integers like `3` are valid JSON numbers; keep them as-is
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An object writer that tracks comma placement.
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens `{` on `out`.
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str_escaped(self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes `"key":"value"`.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        push_str_escaped(self.out, value);
+        self
+    }
+
+    /// Writes `"key":value` for an unsigned integer.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Writes `"key":value` for a signed integer.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Writes `"key":value` for a float (`null` when non-finite).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        push_f64(self.out, value);
+        self
+    }
+
+    /// Writes `"key":true|false`.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `"key":` followed by raw, pre-serialized JSON.
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(json);
+        self
+    }
+
+    /// Closes the object with `}`.
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+/// Serializes a list of pre-serialized JSON values as an array.
+pub fn array_of_raw<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut s = String::new();
+        push_str_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_layout() {
+        let mut out = String::new();
+        let mut w = ObjectWriter::new(&mut out);
+        w.str("k", "v").u64("n", 3).f64("x", 1.5).bool("b", true);
+        w.f64("nan", f64::NAN);
+        w.finish();
+        assert_eq!(out, r#"{"k":"v","n":3,"x":1.5,"b":true,"nan":null}"#);
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        let mut a = String::new();
+        let mut b = String::new();
+        push_f64(&mut a, 0.1 + 0.2);
+        push_f64(&mut b, 0.1 + 0.2);
+        assert_eq!(a, b);
+        assert_eq!(a, "0.30000000000000004");
+    }
+}

@@ -1,0 +1,41 @@
+//! # abw-obs
+//!
+//! Zero-external-dependency observability layer for the `abwe`
+//! workspace. Every figure in Jain & Dovrolis (IMC 2004) is an argument
+//! about *internal* dynamics — queue build-up during a probing stream,
+//! OWD trends inside a train, convergence of an iterative search — and
+//! this crate is how those dynamics become observable without a
+//! debugger:
+//!
+//! * [`Recorder`] — span/event sink trait. [`NullRecorder`] is the
+//!   zero-cost default (the simulator holds *no* recorder unless one is
+//!   installed, so the off path is a single branch);
+//!   [`JsonlRecorder`] streams one JSON object per event;
+//!   [`MemoryRecorder`] buffers events for in-process analysis;
+//!   [`SharedRecorder`] fans multiple simulators into one sink.
+//! * [`metrics`] — monotonic [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and a fixed-bucket log-linear
+//!   [`metrics::LogLinearHistogram`] sized for OWD / queue-depth / gap
+//!   distributions.
+//! * [`manifest::RunManifest`] — seeds, scenario parameters, a
+//!   git-describe-style version, wall-clock and simulated-time totals,
+//!   and per-link counter snapshots, serialized as JSON so any run is
+//!   reproducible from its artifact alone.
+//! * [`global`] — an opt-in process-wide default recorder, the hook the
+//!   `ABW_TRACE` environment plumbing in `abw-bench` uses.
+//!
+//! The environment this workspace builds in is offline, so everything
+//! here is hand-rolled on `std` only (no `tracing`, no `metrics`, no
+//! `serde`), matching the repo's dependency policy.
+
+pub mod event;
+pub mod global;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod record;
+
+pub use event::{Event, Field, OwnedEvent, OwnedValue, Phase, Value};
+pub use manifest::{LinkSnapshot, RunManifest};
+pub use metrics::{Counter, Gauge, LogLinearHistogram};
+pub use record::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder};

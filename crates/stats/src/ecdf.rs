@@ -108,11 +108,7 @@ impl Ecdf {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let n = self
-            .sorted
-            .iter()
-            .filter(|&&x| x.abs() > threshold)
-            .count();
+        let n = self.sorted.iter().filter(|&&x| x.abs() > threshold).count();
         n as f64 / self.sorted.len() as f64
     }
 }

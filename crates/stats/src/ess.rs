@@ -116,8 +116,10 @@ mod tests {
         // alternating series has negative lag-1 correlation; ESS is
         // clamped to at most n (the IPS estimator stops at the first
         // non-positive autocorrelation)
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let ess = effective_sample_size(&xs).unwrap();
-        assert!(ess <= 100.0 && ess >= 1.0);
+        assert!((1.0..=100.0).contains(&ess));
     }
 }

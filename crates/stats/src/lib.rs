@@ -34,4 +34,4 @@ pub use histogram::Histogram;
 pub use regression::{linear_fit, LinearFit};
 pub use running::{Running, Summary};
 pub use sampling::{poisson_instants, relative_error};
-pub use trend::{pct, pdt, TrendVerdict, TrendAnalyzer};
+pub use trend::{pct, pdt, TrendAnalyzer, TrendVerdict};

@@ -173,7 +173,9 @@ mod tests {
 
     /// Deterministic pseudo-noise series with no trend.
     fn flat_series(n: usize) -> Vec<f64> {
-        (0..n).map(|i| 100.0 + ((i as u64 * 2654435761) % 17) as f64).collect()
+        (0..n)
+            .map(|i| 100.0 + ((i as u64 * 2654435761) % 17) as f64)
+            .collect()
     }
 
     #[test]
@@ -203,7 +205,10 @@ mod tests {
     #[test]
     fn classify_increasing() {
         let a = TrendAnalyzer::default();
-        assert_eq!(a.classify(&increasing_series(100)), TrendVerdict::Increasing);
+        assert_eq!(
+            a.classify(&increasing_series(100)),
+            TrendVerdict::Increasing
+        );
     }
 
     #[test]

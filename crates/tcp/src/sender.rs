@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use abw_netsim::{
-    Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration, SimTime,
-};
+use abw_netsim::{Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration, SimTime};
 
 /// Static parameters of a TCP connection.
 #[derive(Debug, Clone)]
@@ -87,6 +85,17 @@ pub enum Phase {
     CongestionAvoidance,
     /// NewReno-less fast recovery after a triple duplicate ACK.
     FastRecovery,
+}
+
+impl Phase {
+    /// Lower-case label, as used in trace events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::SlowStart => "slow_start",
+            Phase::CongestionAvoidance => "congestion_avoidance",
+            Phase::FastRecovery => "fast_recovery",
+        }
+    }
 }
 
 const TIMER_SEND: u64 = 1;
@@ -353,6 +362,17 @@ impl TcpSender {
             }
         }
 
+        if ctx.recorder_active() {
+            ctx.emit(
+                "tcp.cwnd",
+                &[
+                    ("flow", self.config.flow.0.into()),
+                    ("cwnd", self.cwnd.into()),
+                    ("ssthresh", self.ssthresh.into()),
+                    ("phase", self.phase.as_str().into()),
+                ],
+            );
+        }
         if self.all_acked() {
             if self.finished_at.is_none() {
                 self.finished_at = Some(ctx.now());
@@ -377,6 +397,15 @@ impl TcpSender {
             self.recover = self.next_seq;
             self.phase = Phase::FastRecovery;
             self.cwnd = self.ssthresh + 3.0;
+            ctx.emit(
+                "tcp.loss",
+                &[
+                    ("flow", self.config.flow.0.into()),
+                    ("kind", "fast_retransmit".into()),
+                    ("cwnd", self.cwnd.into()),
+                    ("ssthresh", self.ssthresh.into()),
+                ],
+            );
             self.retransmit_una(ctx);
         }
     }
@@ -406,6 +435,15 @@ impl Agent for TcpSender {
         self.dup_acks = 0;
         self.phase = Phase::SlowStart;
         self.rto_backoff += 1;
+        ctx.emit(
+            "tcp.loss",
+            &[
+                ("flow", self.config.flow.0.into()),
+                ("kind", "timeout".into()),
+                ("cwnd", self.cwnd.into()),
+                ("ssthresh", self.ssthresh.into()),
+            ],
+        );
         self.retransmit_una(ctx);
     }
 
@@ -522,8 +560,7 @@ mod tests {
             FlowId(1),
         ))));
         let s2 = sim.add_agent(Box::new(TcpSender::new(
-            TcpConfig::bulk(path, sink2, FlowId(2))
-                .with_start_after(SimDuration::from_millis(250)),
+            TcpConfig::bulk(path, sink2, FlowId(2)).with_start_after(SimDuration::from_millis(250)),
         )));
         let horizon = SimTime::ZERO + SimDuration::from_secs(60);
         sim.run_until(horizon);
@@ -536,8 +573,16 @@ mod tests {
             total / 1e6
         );
         // rough fairness: neither flow starves
-        assert!(r1 > 0.15 * total, "flow 1 starved: {:.1}%", 100.0 * r1 / total);
-        assert!(r2 > 0.15 * total, "flow 2 starved: {:.1}%", 100.0 * r2 / total);
+        assert!(
+            r1 > 0.15 * total,
+            "flow 1 starved: {:.1}%",
+            100.0 * r1 / total
+        );
+        assert!(
+            r2 > 0.15 * total,
+            "flow 2 starved: {:.1}%",
+            100.0 * r2 / total
+        );
     }
 
     #[test]
@@ -563,8 +608,7 @@ mod tests {
     #[test]
     fn fixed_rto_stays_fixed() {
         let (mut sim, path, sink) = topo(100e6, SimDuration::from_millis(10), 200);
-        let cfg = TcpConfig::bulk(path, sink, FlowId(1))
-            .with_rto(SimDuration::from_millis(700));
+        let cfg = TcpConfig::bulk(path, sink, FlowId(1)).with_rto(SimDuration::from_millis(700));
         let sender = sim.add_agent(Box::new(TcpSender::new(cfg)));
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(3));
         let s: &TcpSender = sim.agent(sender);

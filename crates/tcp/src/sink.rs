@@ -2,9 +2,9 @@
 
 use std::collections::BTreeSet;
 
-use abw_netsim::{Agent, AgentId, Ctx, Packet, PacketKind, PathId, SimDuration, SimTime};
 #[cfg(test)]
 use abw_netsim::FlowId;
+use abw_netsim::{Agent, AgentId, Ctx, Packet, PacketKind, PathId, SimDuration, SimTime};
 
 /// A TCP receiver that acknowledges every arriving segment with a
 /// cumulative ACK sent over an uncongested reverse path.
@@ -77,7 +77,7 @@ impl Agent for TcpSink {
             flow: packet.flow,
             src: AgentId(usize::MAX), // filled by send_direct
             dst: packet.src,
-            path: PathId(0),          // unused on the direct reverse path
+            path: PathId(0), // unused on the direct reverse path
             hop: 0,
             size: 40,
             seq: self.expected,

@@ -130,17 +130,15 @@ mod tests {
 
     /// Smooth process: busy 5 ms of every 10 ms window (1 s horizon).
     fn smooth() -> AvailBw {
-        let intervals: Vec<(u64, u64)> = (0..100)
-            .map(|i| (i * 10 * MS, (i * 10 + 5) * MS))
-            .collect();
+        let intervals: Vec<(u64, u64)> =
+            (0..100).map(|i| (i * 10 * MS, (i * 10 + 5) * MS)).collect();
         AvailBw::new(CAP, &intervals, (0, 1000 * MS))
     }
 
     /// Bursty process, same mean: fully busy every other 10 ms window.
     fn bursty() -> AvailBw {
-        let intervals: Vec<(u64, u64)> = (0..50)
-            .map(|i| (i * 20 * MS, (i * 20 + 10) * MS))
-            .collect();
+        let intervals: Vec<(u64, u64)> =
+            (0..50).map(|i| (i * 20 * MS, (i * 20 + 10) * MS)).collect();
         AvailBw::new(CAP, &intervals, (0, 1000 * MS))
     }
 
@@ -162,10 +160,7 @@ mod tests {
         let eb = EffectiveBandwidth::from_process(&bursty(), 10 * MS);
         let curve = eb.curve(1e-12, 1e-3, 30);
         for w in curve.windows(2) {
-            assert!(
-                w[1].1 >= w[0].1 - 1.0,
-                "alpha must not decrease: {w:?}"
-            );
+            assert!(w[1].1 >= w[0].1 - 1.0, "alpha must not decrease: {w:?}");
         }
     }
 
@@ -185,9 +180,7 @@ mod tests {
             eb_smooth.alpha_bps(s)
         );
         // and therefore less effective avail-bw under the constraint
-        assert!(
-            eb_bursty.effective_avail_bps(CAP, s) < eb_smooth.effective_avail_bps(CAP, s)
-        );
+        assert!(eb_bursty.effective_avail_bps(CAP, s) < eb_smooth.effective_avail_bps(CAP, s));
     }
 
     #[test]

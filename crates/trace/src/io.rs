@@ -145,9 +145,7 @@ mod tests {
         assert!(from_str("abw-busy-v1\ncapacity_bps x\nhorizon 0 10").is_err());
         assert!(from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 10 10").is_err());
         // overlapping intervals rejected with an error
-        assert!(
-            from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 0 100\n0 10\n5 15").is_err()
-        );
+        assert!(from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 0 100\n0 10\n5 15").is_err());
         // interval beyond horizon
         assert!(from_str("abw-busy-v1\ncapacity_bps 5\nhorizon 0 100\n90 110").is_err());
     }

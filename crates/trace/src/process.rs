@@ -193,8 +193,7 @@ mod tests {
 
     /// Half-loaded toy process: busy 5 ns of every 10 ns, capacity 100 bps.
     fn half_loaded() -> AvailBw {
-        let intervals: Vec<(u64, u64)> =
-            (0..100).map(|i| (i * 10, i * 10 + 5)).collect();
+        let intervals: Vec<(u64, u64)> = (0..100).map(|i| (i * 10, i * 10 + 5)).collect();
         AvailBw::new(100.0, &intervals, (0, 1000))
     }
 

@@ -9,9 +9,7 @@
 //! theorem produces the long-range-dependent burstiness the experiments
 //! rely on. The substitution is documented in DESIGN.md §2.
 
-use abw_netsim::{
-    CountingSink, FlowId, LinkConfig, LinkId, SimDuration, SimTime, Simulator,
-};
+use abw_netsim::{CountingSink, FlowId, LinkConfig, LinkId, SimDuration, SimTime, Simulator};
 use abw_traffic::{ParetoOnOff, SourceAgent};
 
 use crate::process::AvailBw;
@@ -77,7 +75,10 @@ pub fn spawn_trace_sources(
         config.mean_utilization > 0.0 && config.mean_utilization < 1.0,
         "utilisation must be in (0, 1)"
     );
-    assert!(config.sources >= 3, "need at least 3 sources for the size mix");
+    assert!(
+        config.sources >= 3,
+        "need at least 3 sources for the size mix"
+    );
     let total_rate = config.capacity_bps * config.mean_utilization;
     // byte-share split across sizes: most bytes in MTU packets
     let plan: [(u32, f64); 3] = [(1500, 0.60), (576, 0.25), (40, 0.15)];
@@ -179,7 +180,9 @@ mod tests {
         let a = SyntheticTrace::generate(&quick());
         let b = SyntheticTrace::generate(&quick());
         assert_eq!(a.packets, b.packets);
-        assert_eq!(a.process.busy_ns(1_100_000_000, 2_100_000_000),
-                   b.process.busy_ns(1_100_000_000, 2_100_000_000));
+        assert_eq!(
+            a.process.busy_ns(1_100_000_000, 2_100_000_000),
+            b.process.busy_ns(1_100_000_000, 2_100_000_000)
+        );
     }
 }

@@ -180,9 +180,7 @@ impl ArrivalProcess for ParetoOnOff {
     fn next_arrival(&mut self) -> (SimDuration, u32) {
         if self.remaining == 0 {
             // new cycle: heavy-tailed silence, then a burst
-            self.remaining = self
-                .rng
-                .random_range(self.min_on_pkts..=self.max_on_pkts);
+            self.remaining = self.rng.random_range(self.min_on_pkts..=self.max_on_pkts);
             let off = pareto_secs(&mut self.rng, self.off_shape, self.off_scale_secs);
             self.remaining -= 1;
             (SimDuration::from_secs_f64(off), self.size)

@@ -55,9 +55,7 @@ impl RecordedTrace {
 
     /// Total time spanned by the gaps.
     pub fn duration(&self) -> SimDuration {
-        self.gaps
-            .iter()
-            .fold(SimDuration::ZERO, |acc, &g| acc + g)
+        self.gaps.iter().fold(SimDuration::ZERO, |acc, &g| acc + g)
     }
 
     /// Mean rate of the recorded sequence, bits/s.

@@ -74,9 +74,7 @@ impl SizeDist {
     pub fn mean(&self) -> f64 {
         match self {
             SizeDist::Constant(s) => *s as f64,
-            SizeDist::Empirical(entries) => {
-                entries.iter().map(|&(s, p)| s as f64 * p).sum()
-            }
+            SizeDist::Empirical(entries) => entries.iter().map(|&(s, p)| s as f64 * p).sum(),
         }
     }
 

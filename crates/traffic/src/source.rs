@@ -26,12 +26,7 @@ pub struct SourceAgent {
 
 impl SourceAgent {
     /// Creates a source that runs from the simulation start until stopped.
-    pub fn new(
-        process: Box<dyn ArrivalProcess>,
-        path: PathId,
-        dst: AgentId,
-        flow: FlowId,
-    ) -> Self {
+    pub fn new(process: Box<dyn ArrivalProcess>, path: PathId, dst: AgentId, flow: FlowId) -> Self {
         SourceAgent {
             process,
             path,
@@ -205,9 +200,6 @@ mod tests {
         sim.run_until(SimTime::from_nanos(30_000_000_000));
         let s: &CountingSink = sim.agent(sink);
         let rate = s.bytes as f64 * 8.0 / 30.0;
-        assert!(
-            (rate - 70e6).abs() / 70e6 < 0.08,
-            "aggregate rate {rate}"
-        );
+        assert!((rate - 70e6).abs() / 70e6 < 0.08, "aggregate rate {rate}");
     }
 }

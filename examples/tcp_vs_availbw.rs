@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example tcp_vs_availbw`
 
-use abwe::core::experiments::tcp_throughput::{
-    run, CrossTrafficType, TcpThroughputConfig,
-};
+use abwe::core::experiments::tcp_throughput::{run, CrossTrafficType, TcpThroughputConfig};
 use abwe::netsim::SimDuration;
 
 fn main() {

@@ -56,11 +56,7 @@ fn no_expansion_below_the_avail_bw() {
         };
         let r = runner.run_stream(&mut s.sim, &spec);
         let ratio = r.rate_ratio().expect("stream received");
-        assert!(
-            ratio > 0.995,
-            "Ri = {} Mb/s < A: Ro/Ri = {ratio}",
-            ri / 1e6
-        );
+        assert!(ratio > 0.995, "Ri = {} Mb/s < A: Ro/Ri = {ratio}", ri / 1e6);
     }
 }
 
@@ -84,7 +80,11 @@ fn owd_slope_matches_equation_7() {
         fit.slope * 1e6,
         predicted * 1e6
     );
-    assert!(fit.r2 > 0.95, "OWD growth should be nearly linear, r2 = {}", fit.r2);
+    assert!(
+        fit.r2 > 0.95,
+        "OWD growth should be nearly linear, r2 = {}",
+        fit.r2
+    );
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the `benchmark_group` / `bench_function` / `iter` surface
+//! with a plain wall-clock measurement loop: a short warm-up, then
+//! batches until a time budget is spent, reporting the per-iteration
+//! median, minimum and mean. No plots, no statistics beyond that — but
+//! the same bench sources compile and produce comparable numbers.
+//!
+//! When invoked by `cargo test` (which passes `--test` to
+//! `harness = false` targets), each benchmark body runs exactly once so
+//! the suite stays fast.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as upstream criterion offers.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and measurement settings.
+pub struct Criterion {
+    /// Run each body once, without timing (test mode).
+    smoke_only: bool,
+    /// Per-benchmark measurement budget.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke_only,
+            budget: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self, name, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the statistical sample count; here it only scales
+    /// the time budget of the group's benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let ms = (15 * n as u64).clamp(300, 3000);
+        self.criterion.budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Runs `f` as the benchmark `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &full, &mut f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one(criterion: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        smoke_only: criterion.smoke_only,
+        budget: criterion.budget,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if criterion.smoke_only {
+        println!("{name}: ok (smoke)");
+        return;
+    }
+    b.samples.sort_unstable();
+    if b.samples.is_empty() {
+        println!("{name}: no samples");
+        return;
+    }
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let mean = b.samples.iter().sum::<u128>() / b.samples.len() as u128;
+    println!(
+        "{name}: median {}  min {}  mean {}  ({} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(mean),
+        b.samples.len()
+    );
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Passed to the benchmark closure; `iter` measures the workload.
+pub struct Bencher {
+    smoke_only: bool,
+    budget: Duration,
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording per-call wall-clock time,
+    /// until the measurement budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            std_black_box(routine());
+            return;
+        }
+        // warm-up: one call, also used to size nothing — timings are
+        // per-call, so slow simulation benches yield few samples and
+        // fast kernels yield many
+        std_black_box(routine());
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            std_black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos());
+            if self.samples.len() >= 100_000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares the benchmark groups (mirrors upstream's macro shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

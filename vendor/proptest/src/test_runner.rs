@@ -1,0 +1,155 @@
+//! Case execution: configuration, the per-test RNG, and pass/fail
+//! bookkeeping.
+
+/// How a single generated case ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition; it does
+    /// not count towards the configured number of cases.
+    Reject,
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (only the knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration demanding `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic xoshiro256++ stream used to drive generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Drives one property test: a fixed case budget, a rejection cap, and a
+/// name-derived seed so runs are reproducible.
+pub struct TestRunner {
+    rng: TestRng,
+    cases_target: u32,
+    cases_done: u32,
+    rejects: u32,
+    name: &'static str,
+}
+
+/// FNV-1a, so the per-test stream is stable across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// Maximum rejected cases before the test errors out (mirrors
+    /// upstream's global rejection cap).
+    const MAX_REJECTS: u32 = 65_536;
+
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner {
+            rng: TestRng::from_seed(fnv1a(name.as_bytes())),
+            cases_target: config.cases,
+            cases_done: 0,
+            rejects: 0,
+            name,
+        }
+    }
+
+    /// True while more successful cases are needed.
+    pub fn more_cases(&self) -> bool {
+        self.cases_done < self.cases_target
+    }
+
+    /// The RNG driving generation.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Books one executed case; panics on failure so the surrounding
+    /// `#[test]` fails with the assertion message.
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => self.cases_done += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejects += 1;
+                assert!(
+                    self.rejects < Self::MAX_REJECTS,
+                    "{}: too many prop_assume! rejections ({})",
+                    self.name,
+                    self.rejects
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{}: property failed at case {}: {}",
+                    self.name, self.cases_done, msg
+                );
+            }
+        }
+    }
+}

@@ -1,5 +1,12 @@
-//! Runs every figure/table experiment in sequence (quick mode by
-//! default; pass `--full` for the paper-scale parameters).
+//! Runs every figure/table experiment (quick mode by default; pass
+//! `--full` for the paper-scale parameters).
+//!
+//! The children are independent processes, so they fan out across the
+//! `abw-exec` worker pool (`ABW_JOBS`, defaulting to all cores); their
+//! output is captured and printed in submission order, so the combined
+//! report reads identically at any worker count. When the parent runs
+//! children concurrently, each child is pinned to `ABW_JOBS=1` — the
+//! parallelism budget is spent once, between processes, not squared.
 //!
 //! Children inherit `ABW_MANIFEST` unchanged (each writes its own
 //! `<name>.manifest.json`), but a shared `ABW_TRACE` path would be
@@ -8,8 +15,11 @@
 //!
 //! Usage: `all [--full]`
 
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+
+use abw_exec::Executor;
 
 /// `traces/run.jsonl` + `fig1` → `traces/run-fig1.jsonl`.
 fn per_child_trace(base: &Path, bin: &str) -> PathBuf {
@@ -44,21 +54,47 @@ fn main() {
     ];
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe directory");
-    for bin in bins {
+    let exec = Executor::from_env();
+    let concurrent = exec.workers() > 1;
+    let jobs: Vec<_> = bins
+        .iter()
+        .map(|&bin| {
+            let dir = dir.to_path_buf();
+            let trace_base = trace_base.clone();
+            move || {
+                let mut cmd = Command::new(dir.join(bin));
+                if !full {
+                    cmd.arg("--quick");
+                }
+                if concurrent {
+                    cmd.env("ABW_JOBS", "1");
+                }
+                if let Some(base) = &trace_base {
+                    cmd.env("ABW_TRACE", per_child_trace(base, bin));
+                }
+                let output = cmd.output().unwrap_or_else(|e| {
+                    panic!("failed to launch {bin}: {e} (build the workspace first)")
+                });
+                (bin, output)
+            }
+        })
+        .collect();
+
+    for (bin, output) in exec.run(jobs) {
         println!("==============================================================");
         println!("== {bin}");
         println!("==============================================================");
-        let mut cmd = Command::new(dir.join(bin));
-        if !full {
-            cmd.arg("--quick");
-        }
-        if let Some(base) = &trace_base {
-            cmd.env("ABW_TRACE", per_child_trace(base, bin));
-        }
-        let status = cmd
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e} (build the workspace first)"));
-        assert!(status.success(), "{bin} exited with {status}");
+        std::io::stdout()
+            .write_all(&output.stdout)
+            .expect("write child stdout");
+        std::io::stderr()
+            .write_all(&output.stderr)
+            .expect("write child stderr");
+        assert!(
+            output.status.success(),
+            "{bin} exited with {}",
+            output.status
+        );
         println!();
     }
 }

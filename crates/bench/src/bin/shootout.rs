@@ -4,7 +4,8 @@
 //!
 //! Usage: `shootout [--csv] [--quick] [--cross cbr|poisson|pareto]`
 
-use abw_bench::{f, format_from_args, Format, Session, Table};
+use abw_bench::reports::shootout_table;
+use abw_bench::{format_from_args, Format, Session};
 use abw_core::experiments::shootout::{self, ShootoutConfig};
 use abw_core::scenario::CrossKind;
 
@@ -44,25 +45,7 @@ fn main() {
             result.truth_mbps,
         );
     }
-    let mut t = Table::new(vec![
-        "tool",
-        "mean_Mbps",
-        "bias_Mbps",
-        "sd_Mbps",
-        "packets",
-        "latency_s",
-    ]);
-    for r in &result.rows {
-        t.row(vec![
-            r.tool.to_string(),
-            f(r.mean_mbps, 2),
-            f(r.bias_mbps, 2),
-            f(r.sd_mbps, 2),
-            f(r.mean_packets, 0),
-            f(r.mean_latency_secs, 2),
-        ]);
-    }
-    t.print(format);
+    shootout_table(&result).print(format);
 
     if format == Format::Text {
         println!(

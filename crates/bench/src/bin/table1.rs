@@ -4,7 +4,8 @@
 //!
 //! Usage: `table1 [--csv] [--quick]`
 
-use abw_bench::{f, format_from_args, Format, Session, Table};
+use abw_bench::reports::table1_table;
+use abw_bench::{format_from_args, Format, Session};
 use abw_core::experiments::pairs_vs_trains::{self, PairsVsTrainsConfig};
 
 fn main() {
@@ -29,20 +30,7 @@ fn main() {
             config.pair_rate_bps / 1e6,
         );
     }
-    let ks: Vec<usize> = result.rows[0].errors.iter().map(|&(k, _)| k).collect();
-    let mut header = vec!["Lc_bytes".to_string()];
-    header.extend(ks.iter().map(|k| format!("k={k}")));
-    header.push("per_sample_sd_Mbps".to_string());
-    let mut t = Table::new(header);
-    for row in &result.rows {
-        let mut cells = vec![row.cross_size.to_string()];
-        for &(_, err) in &row.errors {
-            cells.push(format!("{}%", f(err * 100.0, 1)));
-        }
-        cells.push(f(row.sample_sd_mbps, 1));
-        t.row(cells);
-    }
-    t.print(format);
+    table1_table(&result).print(format);
 
     if format == Format::Text {
         println!(

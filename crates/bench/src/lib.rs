@@ -27,6 +27,8 @@ use std::time::Instant;
 
 use abw_obs::{JsonlRecorder, RunManifest};
 
+pub mod reports;
+
 /// One experiment-binary run: wires `ABW_TRACE` / `ABW_MANIFEST` into
 /// the observability layer and owns the run's [`RunManifest`].
 ///
@@ -73,8 +75,13 @@ impl Session {
             // every simulator the run creates folds its totals in on drop
             abw_obs::global::begin_manifest_capture();
         }
+        let mut manifest = RunManifest::new(name);
+        // the worker count the executor will use (ABW_JOBS or the
+        // available parallelism) — per-job wall times land in the
+        // manifest's exec.run* extras at executor join time
+        manifest.param_u64("workers", abw_exec::Executor::from_env().workers() as u64);
         Session {
-            manifest: RunManifest::new(name),
+            manifest,
             manifest_dir,
             tracing,
             started: Instant::now(),

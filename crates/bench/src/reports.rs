@@ -1,0 +1,55 @@
+//! Shared table renderers for the experiment binaries.
+//!
+//! The binaries and the golden regression tests must agree on every
+//! formatting decision (column order, rounding, units), so the
+//! result-to-[`Table`] conversion lives here rather than in each
+//! binary's `main`.
+
+use abw_core::experiments::pairs_vs_trains::PairsVsTrainsResult;
+use abw_core::experiments::shootout::ShootoutResult;
+
+use crate::{f, Table};
+
+/// The shootout table: one row per tool, with mean/bias/spread in Mb/s,
+/// probing overhead in packets, and latency in seconds.
+pub fn shootout_table(result: &ShootoutResult) -> Table {
+    let mut t = Table::new(vec![
+        "tool",
+        "mean_Mbps",
+        "bias_Mbps",
+        "sd_Mbps",
+        "packets",
+        "latency_s",
+    ]);
+    for r in &result.rows {
+        t.row(vec![
+            r.tool.to_string(),
+            f(r.mean_mbps, 2),
+            f(r.bias_mbps, 2),
+            f(r.sd_mbps, 2),
+            f(r.mean_packets, 0),
+            f(r.mean_latency_secs, 2),
+        ]);
+    }
+    t
+}
+
+/// The Table 1 table: one row per cross packet size `Lc`, the relative
+/// error of the `k`-sample mean per sample count, and the per-sample
+/// standard deviation.
+pub fn table1_table(result: &PairsVsTrainsResult) -> Table {
+    let ks: Vec<usize> = result.rows[0].errors.iter().map(|&(k, _)| k).collect();
+    let mut header = vec!["Lc_bytes".to_string()];
+    header.extend(ks.iter().map(|k| format!("k={k}")));
+    header.push("per_sample_sd_Mbps".to_string());
+    let mut t = Table::new(header);
+    for row in &result.rows {
+        let mut cells = vec![row.cross_size.to_string()];
+        for &(_, err) in &row.errors {
+            cells.push(format!("{}%", f(err * 100.0, 1)));
+        }
+        cells.push(f(row.sample_sd_mbps, 1));
+        t.row(cells);
+    }
+    t
+}

@@ -10,6 +10,7 @@
 //! `Lc ∈ {40, 512, 1500}` and `k ∈ {10, 20, 50, 100}`, with 1500 B
 //! probing packets and the avail-bw held at 25 Mb/s.
 
+use abw_exec::Executor;
 use abw_netsim::SimDuration;
 use abw_stats::sampling::relative_error;
 use abw_traffic::SizeDist;
@@ -79,66 +80,76 @@ pub struct PairsVsTrainsResult {
     pub rows: Vec<PairsVsTrainsRow>,
 }
 
-/// Runs the Table 1 experiment.
+/// Runs the Table 1 experiment with the executor configured from
+/// `ABW_JOBS`.
 pub fn run(config: &PairsVsTrainsConfig) -> PairsVsTrainsResult {
+    run_with(config, &Executor::from_env())
+}
+
+/// Runs the Table 1 experiment, fanning the rows (one per cross packet
+/// size, each with its own seeded scenario) across `exec`.
+pub fn run_with(config: &PairsVsTrainsConfig, exec: &Executor) -> PairsVsTrainsResult {
     let truth = 25e6;
     let ct = 50e6;
-    let rows = config
+    let jobs: Vec<_> = config
         .cross_sizes
         .iter()
         .map(|&lc| {
-            let mut s = Scenario::single_hop(&SingleHopConfig {
-                cross: CrossKind::Poisson,
-                cross_sizes: SizeDist::Constant(lc),
-                seed: config.seed.wrapping_add(lc as u64),
-                ..SingleHopConfig::default()
-            });
-            s.warm_up(SimDuration::from_millis(500));
-            let mut runner = s.runner();
-            runner.stream_gap = SimDuration::from_millis(3);
+            move || {
+                let mut s = Scenario::single_hop(&SingleHopConfig {
+                    cross: CrossKind::Poisson,
+                    cross_sizes: SizeDist::Constant(lc),
+                    seed: config.seed.wrapping_add(lc as u64),
+                    ..SingleHopConfig::default()
+                });
+                s.warm_up(SimDuration::from_millis(500));
+                let mut runner = s.runner();
+                runner.stream_gap = SimDuration::from_millis(3);
 
-            // one avail-bw sample per pair, via the Equation 9 inversion
-            let spec = StreamSpec::Pair {
-                rate_bps: config.pair_rate_bps,
-                size: config.probe_size,
-            };
-            let mut samples = Vec::with_capacity(config.pool_size);
-            while samples.len() < config.pool_size {
-                let r = runner.run_stream(&mut s.sim, &spec);
-                if let Some(&(g_in, g_out)) = r.pair_gaps().first() {
-                    if g_out > 0.0 {
-                        let ro = config.probe_size as f64 * 8.0 / g_out;
-                        let ri = config.probe_size as f64 * 8.0 / g_in;
-                        samples.push(direct_probing_estimate(ct, ri, ro));
+                // one avail-bw sample per pair, via the Equation 9 inversion
+                let spec = StreamSpec::Pair {
+                    rate_bps: config.pair_rate_bps,
+                    size: config.probe_size,
+                };
+                let mut samples = Vec::with_capacity(config.pool_size);
+                while samples.len() < config.pool_size {
+                    let r = runner.run_stream(&mut s.sim, &spec);
+                    if let Some(&(g_in, g_out)) = r.pair_gaps().first() {
+                        if g_out > 0.0 {
+                            let ro = config.probe_size as f64 * 8.0 / g_out;
+                            let ri = config.probe_size as f64 * 8.0 / g_in;
+                            samples.push(direct_probing_estimate(ct, ri, ro));
+                        }
                     }
                 }
-            }
-            let sd = abw_stats::running::Running::from_samples(&samples).stddev();
+                let sd = abw_stats::running::Running::from_samples(&samples).stddev();
 
-            let errors = config
-                .sample_counts
-                .iter()
-                .map(|&k| {
-                    let group_errors: Vec<f64> = samples
-                        .chunks_exact(k)
-                        .map(|g| {
-                            let mean = g.iter().sum::<f64>() / k as f64;
-                            relative_error(mean, truth).abs()
-                        })
-                        .collect();
-                    let mean_err =
-                        group_errors.iter().sum::<f64>() / group_errors.len().max(1) as f64;
-                    (k, mean_err)
-                })
-                .collect();
+                let errors = config
+                    .sample_counts
+                    .iter()
+                    .map(|&k| {
+                        let group_errors: Vec<f64> = samples
+                            .chunks_exact(k)
+                            .map(|g| {
+                                let mean = g.iter().sum::<f64>() / k as f64;
+                                relative_error(mean, truth).abs()
+                            })
+                            .collect();
+                        let mean_err =
+                            group_errors.iter().sum::<f64>() / group_errors.len().max(1) as f64;
+                        (k, mean_err)
+                    })
+                    .collect();
 
-            PairsVsTrainsRow {
-                cross_size: lc,
-                errors,
-                sample_sd_mbps: sd / 1e6,
+                PairsVsTrainsRow {
+                    cross_size: lc,
+                    errors,
+                    sample_sd_mbps: sd / 1e6,
+                }
             }
         })
         .collect();
+    let rows = exec.run(jobs);
     PairsVsTrainsResult { rows }
 }
 

@@ -8,6 +8,7 @@
 //! over several seeds; the table reports mean estimate, bias, spread,
 //! probing overhead and latency.
 
+use abw_exec::Executor;
 use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 
@@ -91,9 +92,16 @@ fn fresh(cross: CrossKind, seed: u64) -> Scenario {
     s
 }
 
-/// Runs the shootout.
+/// Runs the shootout with the executor configured from `ABW_JOBS`.
 pub fn run(config: &ShootoutConfig) -> ShootoutResult {
-    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64, f64)>;
+    run_with(config, &Executor::from_env())
+}
+
+/// Runs the shootout, fanning the independent `(tool, seed)` cells
+/// across `exec`. Results are aggregated in submission order, so the
+/// table is identical for any worker count.
+pub fn run_with(config: &ShootoutConfig, exec: &Executor) -> ShootoutResult {
+    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64, f64) + Send + Sync>;
     let quick = config.quick;
     let tools: Vec<(&'static str, ToolFn)> = vec![
         (
@@ -212,15 +220,34 @@ pub fn run(config: &ShootoutConfig) -> ShootoutResult {
     ];
 
     let truth = 25e6;
+    // One job per (tool, seed) cell; each builds its own scenario from
+    // the seed, so cells are fully independent.
+    let cross = config.cross;
+    let jobs: Vec<_> = tools
+        .iter()
+        .flat_map(|(_, f)| {
+            config.seeds.iter().map(move |&seed| {
+                move || {
+                    let mut s = fresh(cross, seed);
+                    f(&mut s)
+                }
+            })
+        })
+        .collect();
+    let cells = exec.run(jobs);
+
+    // Fold per-seed cells back into per-tool rows in submission order —
+    // Running's incremental moments depend on push order, so this
+    // reproduces the serial loop exactly.
+    let seeds_per_tool = config.seeds.len();
     let rows = tools
-        .into_iter()
-        .map(|(name, f)| {
+        .iter()
+        .zip(cells.chunks(seeds_per_tool))
+        .map(|((name, _), chunk)| {
             let mut estimates = Running::new();
             let mut packets = Running::new();
             let mut latency = Running::new();
-            for &seed in &config.seeds {
-                let mut s = fresh(config.cross, seed);
-                let (est, pkts, secs) = f(&mut s);
+            for &(est, pkts, secs) in chunk {
                 estimates.push(est);
                 packets.push(pkts as f64);
                 latency.push(secs);

@@ -11,6 +11,7 @@
 //! avail-bw depending on the competition — so the two metrics must not
 //! be conflated.
 
+use abw_exec::Executor;
 use abw_netsim::{FlowId, LinkConfig, SimDuration, SimTime, Simulator};
 use abw_tcp::{ShortFlowAgent, TcpConfig, TcpSender, TcpSink};
 use abw_traffic::{ParetoInterarrival, SizeDist, SourceAgent};
@@ -191,17 +192,38 @@ fn run_cell(config: &TcpThroughputConfig, cross: CrossTrafficType, wr: u64) -> f
         .goodput_bps(SimTime::ZERO + warmup + config.measure)
 }
 
-/// Runs the Figure 7 experiment.
+/// Runs the Figure 7 experiment with the executor configured from
+/// `ABW_JOBS`.
 pub fn run(config: &TcpThroughputConfig) -> TcpThroughputResult {
+    run_with(config, &Executor::from_env())
+}
+
+/// Runs the Figure 7 experiment, fanning the independent
+/// `(cross type, window)` cells across `exec`.
+pub fn run_with(config: &TcpThroughputConfig, exec: &Executor) -> TcpThroughputResult {
+    let jobs: Vec<_> = config
+        .cross_types
+        .iter()
+        .flat_map(|&cross| {
+            config
+                .windows
+                .iter()
+                .map(move |&wr| move || run_cell(config, cross, wr))
+        })
+        .collect();
+    let goodputs = exec.run(jobs);
+
     let curves = config
         .cross_types
         .iter()
-        .map(|&cross| TcpThroughputCurve {
+        .zip(goodputs.chunks(config.windows.len()))
+        .map(|(&cross, chunk)| TcpThroughputCurve {
             cross,
             points: config
                 .windows
                 .iter()
-                .map(|&wr| (wr, run_cell(config, cross, wr) / 1e6))
+                .zip(chunk)
+                .map(|(&wr, &bps)| (wr, bps / 1e6))
                 .collect(),
         })
         .collect();

@@ -10,6 +10,7 @@
 //! 60-packet trains and Pathload 100-packet streams, while Spruce's 100
 //! pairs need their number.
 
+use abw_exec::Executor;
 use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 use abw_stats::sampling::relative_error;
@@ -81,43 +82,68 @@ pub struct TrainLengthResult {
     pub rows: Vec<TrainLengthRow>,
 }
 
-/// Runs the sweep.
+/// Runs the sweep with the executor configured from `ABW_JOBS`.
 pub fn run(config: &TrainLengthConfig) -> TrainLengthResult {
-    let truth = 25e6;
+    run_with(config, &Executor::from_env())
+}
+
+/// One `(length, rep)` job: its own scenario from a derived seed,
+/// returning the valid per-stream samples in emission order.
+fn run_rep(config: &TrainLengthConfig, len: u32, rep: u32) -> Vec<f64> {
     let ct = 50e6;
+    let samples_per_estimate = (config.packet_budget / len).max(1);
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::Poisson,
+        cross_sizes: SizeDist::Constant(config.cross_size),
+        seed: config
+            .seed
+            .wrapping_add((rep as u64) << 24)
+            .wrapping_add(len as u64),
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(300));
+    let mut runner = s.runner();
+    runner.stream_gap = SimDuration::from_millis(5);
+    let spec = StreamSpec::Periodic {
+        rate_bps: config.rate_bps,
+        size: 1500,
+        count: len,
+    };
+    let mut samples = Vec::new();
+    for _ in 0..samples_per_estimate {
+        let r = runner.run_stream(&mut s.sim, &spec);
+        if let Some(ro) = r.output_rate_bps() {
+            samples.push(direct_probing_estimate(ct, r.input_rate_bps(), ro));
+        }
+    }
+    samples
+}
+
+/// Runs the sweep, fanning the independent `(length, rep)` replications
+/// across `exec` and folding the samples back in submission order —
+/// Running's incremental moments then match the serial loop bit-exactly.
+pub fn run_with(config: &TrainLengthConfig, exec: &Executor) -> TrainLengthResult {
+    let truth = 25e6;
+    let jobs: Vec<_> = config
+        .train_lengths
+        .iter()
+        .flat_map(|&len| (0..config.repetitions).map(move |rep| move || run_rep(config, len, rep)))
+        .collect();
+    let reps = exec.run(jobs);
+
     let rows = config
         .train_lengths
         .iter()
-        .map(|&len| {
+        .zip(reps.chunks(config.repetitions as usize))
+        .map(|(&len, chunk)| {
             let samples_per_estimate = (config.packet_budget / len).max(1);
             let mut errors = Vec::new();
             let mut per_sample = Running::new();
-            for rep in 0..config.repetitions {
-                let mut s = Scenario::single_hop(&SingleHopConfig {
-                    cross: CrossKind::Poisson,
-                    cross_sizes: SizeDist::Constant(config.cross_size),
-                    seed: config
-                        .seed
-                        .wrapping_add((rep as u64) << 24)
-                        .wrapping_add(len as u64),
-                    ..SingleHopConfig::default()
-                });
-                s.warm_up(SimDuration::from_millis(300));
-                let mut runner = s.runner();
-                runner.stream_gap = SimDuration::from_millis(5);
-                let spec = StreamSpec::Periodic {
-                    rate_bps: config.rate_bps,
-                    size: 1500,
-                    count: len,
-                };
+            for samples in chunk {
                 let mut estimate = Running::new();
-                for _ in 0..samples_per_estimate {
-                    let r = runner.run_stream(&mut s.sim, &spec);
-                    if let Some(ro) = r.output_rate_bps() {
-                        let a = direct_probing_estimate(ct, r.input_rate_bps(), ro);
-                        estimate.push(a);
-                        per_sample.push(a);
-                    }
+                for &a in samples {
+                    estimate.push(a);
+                    per_sample.push(a);
                 }
                 if estimate.count() > 0 {
                     errors.push(relative_error(estimate.mean(), truth).abs());

@@ -7,6 +7,7 @@
 //! one's operating point — the kind of design-choice evidence DESIGN.md
 //! §6 calls out.
 
+use abw_exec::Executor;
 use abw_netsim::SimDuration;
 use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
 
@@ -104,31 +105,47 @@ pub struct TrendThresholdsResult {
     pub points: Vec<OperatingPoint>,
 }
 
-/// Runs the sweep. The streams are collected once and re-analysed under
-/// every setting, so the comparison is paired (no sampling noise between
-/// settings).
+/// Runs the sweep with the executor configured from `ABW_JOBS`.
 pub fn run(config: &TrendThresholdsConfig) -> TrendThresholdsResult {
+    run_with(config, &Executor::from_env())
+}
+
+/// Collects the OWD series of `streams` probes at `rate` against a
+/// fresh scenario seeded for this rate only — so the two rates are
+/// independent jobs.
+fn collect(config: &TrendThresholdsConfig, rate: f64, rate_index: u64) -> Vec<Vec<f64>> {
     let mut s = Scenario::single_hop(&SingleHopConfig {
         cross: config.cross,
-        seed: config.seed,
+        seed: config.seed.wrapping_add(rate_index << 32),
         ..SingleHopConfig::default()
     });
     s.warm_up(SimDuration::from_millis(500));
     let mut runner = s.runner();
     runner.stream_gap = SimDuration::from_millis(20);
-
-    let mut collect = |rate: f64| -> Vec<Vec<f64>> {
-        let spec = StreamSpec::Periodic {
-            rate_bps: rate,
-            size: 1500,
-            count: config.packets_per_stream,
-        };
-        (0..config.streams)
-            .map(|_| runner.run_stream(&mut s.sim, &spec).owds())
-            .collect()
+    let spec = StreamSpec::Periodic {
+        rate_bps: rate,
+        size: 1500,
+        count: config.packets_per_stream,
     };
-    let below = collect(config.rate_below_bps);
-    let above = collect(config.rate_above_bps);
+    (0..config.streams)
+        .map(|_| runner.run_stream(&mut s.sim, &spec).owds())
+        .collect()
+}
+
+/// Runs the sweep, collecting the two rates as independent `exec` jobs.
+/// The streams are collected once and re-analysed under every setting,
+/// so the comparison across settings is paired (no sampling noise
+/// between settings).
+pub fn run_with(config: &TrendThresholdsConfig, exec: &Executor) -> TrendThresholdsResult {
+    let rates = [config.rate_below_bps, config.rate_above_bps];
+    let jobs: Vec<_> = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| move || collect(config, rate, i as u64))
+        .collect();
+    let mut collected = exec.run(jobs);
+    let above = collected.pop().expect("two rates submitted");
+    let below = collected.pop().expect("two rates submitted");
 
     let points = config
         .settings

@@ -9,6 +9,7 @@
 //! CDF of the relative error of the 20-sample mean — Figure 1's three
 //! curves.
 
+use abw_exec::Executor;
 use abw_stats::ecdf::Ecdf;
 use abw_stats::sampling::relative_error;
 use abw_trace::{SyntheticTrace, SyntheticTraceConfig};
@@ -79,34 +80,48 @@ pub struct VariabilityResult {
     pub curves: Vec<VariabilityCurve>,
 }
 
-/// Runs the Figure 1 experiment.
+/// Runs the Figure 1 experiment with the executor configured from
+/// `ABW_JOBS`.
 pub fn run(config: &VariabilityConfig) -> VariabilityResult {
+    run_with(config, &Executor::from_env())
+}
+
+/// Runs the Figure 1 experiment, sampling each timescale as its own
+/// `exec` job. The trace is generated once and shared read-only; each
+/// timescale owns an RNG stream derived from `(seed, tau)`, so its
+/// samples do not depend on which other timescales run or in what
+/// order.
+pub fn run_with(config: &VariabilityConfig, exec: &Executor) -> VariabilityResult {
     let trace = SyntheticTrace::generate(&config.trace);
     let process = &trace.process;
     let truth = process.mean();
-    let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let curves = config
+    let jobs: Vec<_> = config
         .timescales_ms
         .iter()
         .map(|&tau_ms| {
-            let tau_ns = tau_ms * 1_000_000;
-            let mut errors = Vec::with_capacity(config.trials);
-            for _ in 0..config.trials {
-                let samples = process.poisson_sample(&mut rng, tau_ns, config.samples_per_trial);
-                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-                errors.push(relative_error(mean, truth));
-            }
-            let error_cdf = Ecdf::new(errors);
-            let frac_above_5pct = error_cdf.fraction_abs_above(0.05);
-            VariabilityCurve {
-                tau_ms,
-                error_cdf,
-                frac_above_5pct,
-                population_sd_mbps: process.population(tau_ns).stddev() / 1e6,
+            move || {
+                let tau_ns = tau_ms * 1_000_000;
+                let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(tau_ms << 16));
+                let mut errors = Vec::with_capacity(config.trials);
+                for _ in 0..config.trials {
+                    let samples =
+                        process.poisson_sample(&mut rng, tau_ns, config.samples_per_trial);
+                    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                    errors.push(relative_error(mean, truth));
+                }
+                let error_cdf = Ecdf::new(errors);
+                let frac_above_5pct = error_cdf.fraction_abs_above(0.05);
+                VariabilityCurve {
+                    tau_ms,
+                    error_cdf,
+                    frac_above_5pct,
+                    population_sd_mbps: process.population(tau_ns).stddev() / 1e6,
+                }
             }
         })
         .collect();
+    let curves = exec.run(jobs);
 
     VariabilityResult {
         trace_mean_mbps: truth / 1e6,

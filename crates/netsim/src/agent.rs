@@ -17,8 +17,11 @@ use crate::time::{SimDuration, SimTime};
 /// Behaviour of a simulation endpoint.
 ///
 /// All callbacks receive a [`Ctx`] scoped to the current simulation time.
-/// Implementations must be `'static` so the simulator can own them.
-pub trait Agent: Any {
+/// Implementations must be `'static` so the simulator can own them, and
+/// `Send` so a whole simulation can be handed to a worker thread — the
+/// parallel executor (`abw-exec`) runs one independent simulation per
+/// job.
+pub trait Agent: Any + Send {
     /// Called once when the simulation starts (before any event).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 

@@ -59,7 +59,12 @@ impl From<bool> for Value<'_> {
 }
 
 /// One named field of an event.
-pub type Field<'a> = (&'static str, Value<'a>);
+///
+/// The key is borrowed (not `&'static`) so buffered [`OwnedEvent`]s can
+/// be replayed through the same [`crate::Recorder::record`] path that
+/// live emission uses — the byte-identity guarantee of deferred traces
+/// rests on both paths sharing one formatter.
+pub type Field<'a> = (&'a str, Value<'a>);
 
 /// Span phase of an event (Chrome-trace-style semantics).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,9 +93,10 @@ impl Phase {
 pub struct Event<'a> {
     /// Timestamp in simulated nanoseconds.
     pub t_ns: u64,
-    /// Static event kind, dot-namespaced (`link.enqueue`,
-    /// `pathload.fleet`, …).
-    pub kind: &'static str,
+    /// Event kind, dot-namespaced (`link.enqueue`, `pathload.fleet`, …).
+    /// Producers pass `&'static` literals; replayed events borrow from
+    /// their [`OwnedEvent`].
+    pub kind: &'a str,
     /// Span phase.
     pub phase: Phase,
     /// Key/value payload.
@@ -165,6 +171,19 @@ impl From<Value<'_>> for OwnedValue {
     }
 }
 
+impl OwnedValue {
+    /// A borrowed [`Value`] view of this value.
+    pub fn as_value(&self) -> Value<'_> {
+        match self {
+            OwnedValue::U64(v) => Value::U64(*v),
+            OwnedValue::I64(v) => Value::I64(*v),
+            OwnedValue::F64(v) => Value::F64(*v),
+            OwnedValue::Str(s) => Value::Str(s),
+            OwnedValue::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
 impl OwnedEvent {
     /// Copies a borrowed event.
     pub fn from_event(ev: &Event<'_>) -> Self {
@@ -183,6 +202,23 @@ impl OwnedEvent {
     /// Looks up a field by name.
     pub fn field(&self, name: &str) -> Option<&OwnedValue> {
         self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Re-records this event into `recorder` through the ordinary
+    /// [`crate::Recorder::record`] path, so a buffered-then-replayed
+    /// trace is byte-identical to a live one.
+    pub fn replay_into<R: crate::Recorder + ?Sized>(&self, recorder: &mut R) {
+        let fields: Vec<Field<'_>> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_value()))
+            .collect();
+        recorder.record(&Event {
+            t_ns: self.t_ns,
+            kind: &self.kind,
+            phase: self.phase,
+            fields: &fields,
+        });
     }
 }
 

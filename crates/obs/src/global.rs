@@ -6,13 +6,103 @@
 //! function. The global is opt-in: until [`set_global`] runs,
 //! [`global`] returns `None` and nothing anywhere pays for tracing.
 
-use std::sync::Mutex;
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
 
+use crate::event::OwnedEvent;
 use crate::manifest::RunManifest;
-use crate::record::{Recorder, SharedRecorder};
+use crate::record::{MemoryRecorder, Recorder, SharedRecorder};
 
 static GLOBAL: Mutex<Option<SharedRecorder>> = Mutex::new(None);
 static MANIFEST: Mutex<Option<RunManifest>> = Mutex::new(None);
+
+/// Per-thread capture: while active, this thread's recorder lookups and
+/// manifest folds are redirected into thread-local buffers instead of
+/// the process-wide sinks. The parallel executor installs one around
+/// every job so workers never contend on (or interleave within) the
+/// shared trace, then replays the buffers in job-index order at join
+/// time.
+struct ThreadCapture {
+    /// Buffered events (`None` when the job runs untraced).
+    events: Option<Arc<Mutex<MemoryRecorder>>>,
+    /// Manifest fragment (`None` when no manifest capture is active).
+    manifest: Option<RunManifest>,
+}
+
+thread_local! {
+    static THREAD_CAPTURE: RefCell<Option<ThreadCapture>> = const { RefCell::new(None) };
+}
+
+/// What a thread capture collected, returned by [`take_thread_capture`].
+#[derive(Debug, Default)]
+pub struct CapturedJob {
+    /// Events recorded while the capture was active, in emission order.
+    pub events: Vec<OwnedEvent>,
+    /// Manifest fragment accumulated while the capture was active.
+    pub manifest: Option<RunManifest>,
+}
+
+/// Starts redirecting this thread's [`global`] recorder lookups and
+/// [`with_manifest`] folds into thread-local buffers. Replaces any
+/// previous capture on this thread.
+///
+/// `capture_events` buffers events for later replay; `capture_manifest`
+/// accumulates a manifest fragment. Passing `false` for a channel makes
+/// that channel a no-op for the duration (the usual choice when the
+/// corresponding process-global sink is not installed).
+pub fn begin_thread_capture(capture_events: bool, capture_manifest: bool) {
+    let capture = ThreadCapture {
+        events: capture_events.then(|| Arc::new(Mutex::new(MemoryRecorder::new()))),
+        manifest: capture_manifest.then(RunManifest::default),
+    };
+    THREAD_CAPTURE.with(|slot| *slot.borrow_mut() = Some(capture));
+}
+
+/// Ends this thread's capture and returns what it collected (`None`
+/// when no capture was active).
+pub fn take_thread_capture() -> Option<CapturedJob> {
+    let capture = THREAD_CAPTURE.with(|slot| slot.borrow_mut().take())?;
+    let events = match capture.events {
+        Some(buffer) => buffer
+            .lock()
+            .map(|mut recorder| recorder.take_events())
+            .unwrap_or_default(),
+        None => Vec::new(),
+    };
+    Some(CapturedJob {
+        events,
+        manifest: capture.manifest,
+    })
+}
+
+/// True when a thread capture is active on the calling thread.
+pub fn thread_capture_active() -> bool {
+    THREAD_CAPTURE.with(|slot| slot.borrow().is_some())
+}
+
+/// True when a process-global manifest capture is active
+/// (regardless of any thread capture).
+pub fn manifest_capture_active() -> bool {
+    MANIFEST
+        .lock()
+        .map(|guard| guard.is_some())
+        .unwrap_or(false)
+}
+
+/// Replays captured events into the process-global recorder, in order.
+/// A no-op when no global recorder is installed.
+pub fn replay_into_global(events: &[OwnedEvent]) {
+    if events.is_empty() {
+        return;
+    }
+    if let Some(shared) = process_global() {
+        shared.with(|recorder| {
+            for event in events {
+                event.replay_into(recorder);
+            }
+        });
+    }
+}
 
 /// Installs `recorder` as the process-global default, returning the
 /// shared handle. Replaces any previous global.
@@ -22,8 +112,24 @@ pub fn set_global<R: Recorder + Send + 'static>(recorder: R) -> SharedRecorder {
     shared
 }
 
-/// The current global recorder, if one was installed.
+/// The recorder new simulators should adopt: the calling thread's
+/// capture buffer when one is active (and tracing), else the process
+/// global, if one was installed.
 pub fn global() -> Option<SharedRecorder> {
+    let captured = THREAD_CAPTURE.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .and_then(|capture| capture.events.clone())
+    });
+    if let Some(buffer) = captured {
+        return Some(SharedRecorder::new(buffer));
+    }
+    process_global()
+}
+
+/// The process-global recorder, bypassing any thread capture — the
+/// replay destination at executor join time.
+fn process_global() -> Option<SharedRecorder> {
     GLOBAL
         .lock()
         .expect("global recorder mutex poisoned")
@@ -51,13 +157,36 @@ pub fn begin_manifest_capture() {
     *MANIFEST.lock().expect("global manifest mutex poisoned") = Some(RunManifest::default());
 }
 
-/// Runs `f` against the global manifest accumulator; a no-op when no
-/// capture is active. Never panics (drop-path safe): a poisoned mutex
-/// skips the fold instead of aborting.
+/// Runs `f` against the active manifest accumulator — the calling
+/// thread's capture fragment when one is collecting manifests, else the
+/// process-global accumulator. A no-op when neither is active. Never
+/// panics (drop-path safe): a poisoned mutex skips the fold instead of
+/// aborting.
 pub fn with_manifest<F: FnOnce(&mut RunManifest)>(f: F) {
+    let mut f = Some(f);
+    let handled = THREAD_CAPTURE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match slot.as_mut() {
+            // a capture is active: route manifest folds into its
+            // fragment, or swallow them when it is not collecting —
+            // a captured job must never write through to the global.
+            Some(capture) => {
+                if let Some(fragment) = capture.manifest.as_mut() {
+                    (f.take().expect("closure consumed once"))(fragment);
+                }
+                true
+            }
+            None => false,
+        }
+    });
+    if handled {
+        return;
+    }
     if let Ok(mut guard) = MANIFEST.lock() {
         if let Some(m) = guard.as_mut() {
-            f(m);
+            if let Some(f) = f.take() {
+                f(m);
+            }
         }
     }
 }
@@ -92,6 +221,43 @@ mod tests {
         cleared.with(|r| {
             let _ = r; // dyn Recorder: can't downcast; presence is enough
         });
+    }
+
+    #[test]
+    fn thread_capture_redirects_events_and_manifest() {
+        assert!(!thread_capture_active());
+        begin_thread_capture(true, true);
+        assert!(thread_capture_active());
+        let mut recorder = global().expect("capture provides a recorder");
+        recorder.instant(5, "job.event", &[]);
+        with_manifest(|m| {
+            m.add_counter("pkts", 2);
+            m.sim_time_ns += 9;
+        });
+        let captured = take_thread_capture().expect("capture was active");
+        assert!(!thread_capture_active());
+        assert_eq!(captured.events.len(), 1);
+        assert_eq!(captured.events[0].kind, "job.event");
+        assert_eq!(captured.events[0].t_ns, 5);
+        let fragment = captured.manifest.expect("manifest fragment collected");
+        assert_eq!(fragment.counters, vec![("pkts".to_string(), 2)]);
+        assert_eq!(fragment.sim_time_ns, 9);
+        assert!(take_thread_capture().is_none());
+    }
+
+    #[test]
+    fn manifest_only_capture_swallows_events_channel() {
+        begin_thread_capture(false, true);
+        // not tracing: no thread recorder, and (in this test) no global
+        with_manifest(|m| {
+            m.add_counter("x", 1);
+        });
+        let captured = take_thread_capture().expect("capture was active");
+        assert!(captured.events.is_empty());
+        assert_eq!(
+            captured.manifest.expect("fragment").counters,
+            vec![("x".to_string(), 1)]
+        );
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //!   and per-link counter snapshots, serialized as JSON so any run is
 //!   reproducible from its artifact alone.
 //! * [`global`] — an opt-in process-wide default recorder, the hook the
-//!   `ABW_TRACE` environment plumbing in `abw-bench` uses.
+//!   `ABW_TRACE` environment plumbing in `abw-bench` uses, plus the
+//!   per-thread capture layer the parallel executor (`abw-exec`) wraps
+//!   around every job so traces stay byte-identical across worker
+//!   counts.
+//! * [`merge`] — the deterministic join-order folding of per-worker
+//!   recorders, metrics and manifest fragments.
 //!
 //! The environment this workspace builds in is offline, so everything
 //! here is hand-rolled on `std` only (no `tracing`, no `metrics`, no
@@ -32,10 +37,12 @@ pub mod event;
 pub mod global;
 pub mod json;
 pub mod manifest;
+pub mod merge;
 pub mod metrics;
 pub mod record;
 
 pub use event::{Event, Field, OwnedEvent, OwnedValue, Phase, Value};
 pub use manifest::{LinkSnapshot, RunManifest};
+pub use merge::Merge;
 pub use metrics::{Counter, Gauge, LogLinearHistogram};
 pub use record::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder};

@@ -1,0 +1,163 @@
+//! Deterministic merging of per-worker observability state.
+//!
+//! The parallel executor (`abw-exec`) gives every worker its own
+//! recorder, metric set and manifest fragment so the hot path never
+//! contends on a shared sink. At join time the fragments are folded back
+//! together **in job-index order** — the one ordering that makes a
+//! parallel run indistinguishable from a serial one. [`Merge`] is the
+//! contract every foldable type implements:
+//!
+//! * counters **sum** (commutative, but still folded in order),
+//! * histograms merge **bucket-wise** (geometry-checked),
+//! * gauges take the **last** value by job index (what a serial run
+//!   would have ended with),
+//! * event buffers **append** in job order,
+//! * link snapshots and manifests use their existing accumulation
+//!   rules.
+
+use crate::manifest::{LinkSnapshot, RunManifest};
+use crate::metrics::{Counter, Gauge, LogLinearHistogram};
+use crate::record::MemoryRecorder;
+
+/// Fold another instance of the same observable into `self`.
+///
+/// Callers merge fragments in **job-index order**; implementations whose
+/// semantics are order-sensitive (gauges, event buffers) rely on that.
+pub trait Merge {
+    /// Accumulates `other` into `self`.
+    fn merge_from(&mut self, other: &Self);
+}
+
+impl Merge for Counter {
+    fn merge_from(&mut self, other: &Self) {
+        Counter::merge_from(self, other);
+    }
+}
+
+impl Merge for Gauge {
+    fn merge_from(&mut self, other: &Self) {
+        Gauge::merge_from(self, other);
+    }
+}
+
+impl Merge for LogLinearHistogram {
+    fn merge_from(&mut self, other: &Self) {
+        self.merge(other);
+    }
+}
+
+impl Merge for MemoryRecorder {
+    fn merge_from(&mut self, other: &Self) {
+        MemoryRecorder::merge_from(self, other);
+    }
+}
+
+impl Merge for LinkSnapshot {
+    fn merge_from(&mut self, other: &Self) {
+        LinkSnapshot::merge_from(self, other);
+    }
+}
+
+impl Merge for RunManifest {
+    fn merge_from(&mut self, other: &Self) {
+        self.absorb(other.clone());
+    }
+}
+
+/// Folds `fragments` into `base` in index order — the canonical join
+/// loop of the executor, exposed for direct use and tests.
+pub fn merge_in_order<T: Merge>(base: &mut T, fragments: &[T]) {
+    for fragment in fragments {
+        base.merge_from(fragment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::record::Recorder as _;
+
+    #[test]
+    fn counters_sum() {
+        let mut a = Counter::new();
+        a.add(3);
+        let mut b = Counter::new();
+        b.add(4);
+        Merge::merge_from(&mut a, &b);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn counters_saturate_across_merge() {
+        let mut a = Counter::new();
+        a.add(u64::MAX - 1);
+        let mut b = Counter::new();
+        b.add(10);
+        Merge::merge_from(&mut a, &b);
+        assert_eq!(a.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_take_last_by_job_index() {
+        let mut worker0 = Gauge::new();
+        worker0.set(1.0);
+        let mut worker1 = Gauge::new();
+        worker1.set(2.0);
+        let mut worker2 = Gauge::new();
+        worker2.set(3.0);
+        let mut merged = Gauge::new();
+        merge_in_order(&mut merged, &[worker0, worker1, worker2]);
+        assert_eq!(merged.get(), 3.0, "last job's reading wins");
+    }
+
+    #[test]
+    fn histograms_merge_bucket_wise() {
+        let mut a = LogLinearHistogram::new(16, 4, 2);
+        let mut b = LogLinearHistogram::new(16, 4, 2);
+        a.record(17);
+        b.record(17);
+        b.record(40);
+        Merge::merge_from(&mut a, &b);
+        let counts: Vec<u64> = a.buckets().map(|(_, _, c)| c).collect();
+        assert_eq!(counts[0], 2, "both 17s in the first bucket");
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn memory_recorders_merged_in_job_order_equal_the_serial_recorder() {
+        // "serial": one recorder sees the jobs back-to-back
+        let mut serial = MemoryRecorder::new();
+        // "parallel": each worker records its own job
+        let mut workers: Vec<MemoryRecorder> = Vec::new();
+        for job in 0..4u64 {
+            let mut w = MemoryRecorder::new();
+            for step in 0..3u64 {
+                let fields = [("job", Value::U64(job)), ("step", Value::U64(step))];
+                serial.instant(job * 10 + step, "job.step", &fields);
+                w.instant(job * 10 + step, "job.step", &fields);
+            }
+            workers.push(w);
+        }
+        let mut merged = MemoryRecorder::new();
+        merge_in_order(&mut merged, &workers);
+        assert_eq!(merged.events(), serial.events());
+    }
+
+    #[test]
+    fn manifests_fold_counters_and_links() {
+        let mut base = RunManifest::default();
+        base.add_counter("injected", 5);
+        let mut frag = RunManifest::default();
+        frag.add_counter("injected", 7);
+        frag.fold_link(LinkSnapshot {
+            link: "0".into(),
+            forwarded_pkts: 3,
+            ..LinkSnapshot::default()
+        });
+        Merge::merge_from(&mut base, &frag);
+        assert_eq!(base.counters, vec![("injected".to_string(), 12)]);
+        assert_eq!(base.links.len(), 1);
+        assert_eq!(base.links[0].forwarded_pkts, 3);
+    }
+}

@@ -39,6 +39,13 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0
     }
+
+    /// Adds `other`'s count into this counter (saturating) — counters
+    /// from independent workers sum.
+    #[inline]
+    pub fn merge_from(&mut self, other: &Counter) {
+        self.add(other.0);
+    }
 }
 
 /// A last-value-wins gauge.
@@ -67,6 +74,14 @@ impl Gauge {
     #[inline]
     pub fn get(&self) -> f64 {
         self.0
+    }
+
+    /// Takes `other`'s value — a gauge is last-value-wins, so merging
+    /// worker gauges in job-index order leaves the last job's reading,
+    /// exactly what a serial run would have ended with.
+    #[inline]
+    pub fn merge_from(&mut self, other: &Gauge) {
+        self.0 = other.0;
     }
 }
 

@@ -102,6 +102,25 @@ impl MemoryRecorder {
     pub fn clear(&mut self) {
         self.events.clear();
     }
+
+    /// Takes the buffered events out, leaving the recorder empty.
+    pub fn take_events(&mut self) -> Vec<OwnedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Appends `other`'s events after this recorder's own — the
+    /// deterministic join-order merge used when per-worker recorders are
+    /// folded back together by job index.
+    pub fn merge_from(&mut self, other: &MemoryRecorder) {
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Replays every buffered event into `recorder`, in order.
+    pub fn replay_into<R: Recorder + ?Sized>(&self, recorder: &mut R) {
+        for event in &self.events {
+            event.replay_into(recorder);
+        }
+    }
 }
 
 impl Recorder for MemoryRecorder {
@@ -313,6 +332,41 @@ mod tests {
         b.instant(2, "from.b", &[]);
         shared.with(|r| r.flush());
         assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn buffered_replay_is_byte_identical_to_live_emission() {
+        let fields = [
+            ("n", Value::U64(7)),
+            ("rate", Value::F64(2.515e6)),
+            ("name", Value::Str("tool \"x\"")),
+            ("ok", Value::Bool(false)),
+        ];
+        // live: straight into a JSONL sink
+        let mut live = JsonlRecorder::new(Vec::new());
+        live.record(&sample_event(&fields));
+        live.span_begin(43, "span.k", &[("neg", Value::I64(-3))]);
+        // deferred: buffer in memory, replay later
+        let mut buffer = MemoryRecorder::new();
+        buffer.record(&sample_event(&fields));
+        buffer.span_begin(43, "span.k", &[("neg", Value::I64(-3))]);
+        let mut replayed = JsonlRecorder::new(Vec::new());
+        buffer.replay_into(&mut replayed);
+        assert_eq!(live.into_inner(), replayed.into_inner());
+    }
+
+    #[test]
+    fn memory_recorder_merge_appends_in_order() {
+        let mut a = MemoryRecorder::new();
+        a.instant(1, "first", &[]);
+        let mut b = MemoryRecorder::new();
+        b.instant(2, "second", &[]);
+        a.merge_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.events()[1].kind, "second");
+        let taken = a.take_events();
+        assert_eq!(taken.len(), 2);
+        assert!(a.is_empty());
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crate::sizes::SizeDist;
 /// packet and that packet's size in bytes.
 ///
 /// Implementations own their RNG, so a process is a pure function of its
-/// construction parameters (including the seed).
-pub trait ArrivalProcess {
+/// construction parameters (including the seed). `Send` so simulations
+/// carrying sources can move to executor worker threads.
+pub trait ArrivalProcess: Send {
     /// Gap to the next arrival and its size.
     fn next_arrival(&mut self) -> (SimDuration, u32);
 

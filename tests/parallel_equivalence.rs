@@ -1,0 +1,127 @@
+//! Serial-equivalence harness for the parallel executor.
+//!
+//! The contract `abw-exec` sells is strict: a parallel run is
+//! **bit-identical** to a serial run — same estimates (every f64 bit),
+//! same rendered tables, same aggregation — for any worker count. These
+//! tests pin that contract for every refactored experiment by running
+//! each one with an explicit 1-worker and 4-worker executor and
+//! comparing the `Debug` renderings (Rust's shortest-round-trip float
+//! formatting makes `{:?}` equality equivalent to f64 bit equality).
+//!
+//! JSONL trace byte-identity is pinned separately in
+//! `trace_equivalence.rs` — the process-global recorder it installs
+//! must not leak into these tests.
+
+use abw_bench::reports::{shootout_table, table1_table};
+use abw_bench::Format;
+use abw_core::experiments::pairs_vs_trains::{self, PairsVsTrainsConfig};
+use abw_core::experiments::shootout::{self, ShootoutConfig};
+use abw_core::experiments::tcp_throughput::{self, TcpThroughputConfig};
+use abw_core::experiments::train_length::{self, TrainLengthConfig};
+use abw_core::experiments::trend_thresholds::{self, TrendThresholdsConfig};
+use abw_core::experiments::variability::{self, VariabilityConfig};
+use abw_exec::Executor;
+
+const SEEDS: [u64; 3] = [0xA11CE, 0xB0B, 0xC01D];
+
+fn serial() -> Executor {
+    Executor::new(1)
+}
+
+fn parallel() -> Executor {
+    Executor::new(4)
+}
+
+#[test]
+fn shootout_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = ShootoutConfig {
+            seeds: vec![seed, seed ^ 0xFF, seed.rotate_left(7)],
+            ..ShootoutConfig::quick()
+        };
+        let a = shootout::run_with(&config, &serial());
+        let b = shootout::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+        // the rendered artifact is identical too, not just the numbers
+        assert_eq!(
+            shootout_table(&a).render(Format::Csv),
+            shootout_table(&b).render(Format::Csv)
+        );
+    }
+}
+
+#[test]
+fn table1_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = PairsVsTrainsConfig {
+            seed,
+            pool_size: 100,
+            ..PairsVsTrainsConfig::quick()
+        };
+        let a = pairs_vs_trains::run_with(&config, &serial());
+        let b = pairs_vs_trains::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+        assert_eq!(
+            table1_table(&a).render(Format::Csv),
+            table1_table(&b).render(Format::Csv)
+        );
+    }
+}
+
+#[test]
+fn tcp_throughput_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = TcpThroughputConfig {
+            seed,
+            windows: vec![4, 64],
+            measure: abw_netsim::SimDuration::from_secs(5),
+            ..TcpThroughputConfig::quick()
+        };
+        let a = tcp_throughput::run_with(&config, &serial());
+        let b = tcp_throughput::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn trend_thresholds_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = TrendThresholdsConfig {
+            seed,
+            streams: 10,
+            ..TrendThresholdsConfig::quick()
+        };
+        let a = trend_thresholds::run_with(&config, &serial());
+        let b = trend_thresholds::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn variability_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = VariabilityConfig {
+            seed,
+            trials: 50,
+            ..VariabilityConfig::quick()
+        };
+        let a = variability::run_with(&config, &serial());
+        let b = variability::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn train_length_is_bit_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let config = TrainLengthConfig {
+            seed,
+            repetitions: 3,
+            packet_budget: 120,
+            ..TrainLengthConfig::quick()
+        };
+        let a = train_length::run_with(&config, &serial());
+        let b = train_length::run_with(&config, &parallel());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed:#x}");
+    }
+}

@@ -135,18 +135,26 @@ mod tests {
         let poisson = curve(CrossKind::Poisson);
         let pareto = curve(CrossKind::ParetoOnOff);
 
+        let at = |c: &BurstinessCurve, mbps: f64| {
+            c.points
+                .iter()
+                .find(|p| (p.0 - mbps).abs() < 1e-9)
+                .unwrap()
+                .1
+        };
+
         // CBR ≈ fluid: essentially no expansion below the avail-bw
-        let cbr_at_20 = cbr.points.iter().find(|p| p.0 == 20.0).unwrap().1;
+        let cbr_at_20 = at(cbr, 20.0);
         assert!(cbr_at_20 > 0.995, "CBR Ro/Ri at 20 Mb/s: {cbr_at_20}");
 
         // bursty models dip below 1 before Ri reaches 25 Mb/s
-        let poisson_at_24 = poisson.points.iter().find(|p| p.0 == 24.0).unwrap().1;
+        let poisson_at_24 = at(poisson, 24.0);
         assert!(
             poisson_at_24 < 0.999,
             "Poisson should expand below A: {poisson_at_24}"
         );
-        let pareto_at_20 = pareto.points.iter().find(|p| p.0 == 20.0).unwrap().1;
-        let poisson_at_20 = poisson.points.iter().find(|p| p.0 == 20.0).unwrap().1;
+        let pareto_at_20 = at(pareto, 20.0);
+        let poisson_at_20 = at(poisson, 20.0);
         assert!(
             pareto_at_20 <= poisson_at_20,
             "Pareto ({pareto_at_20}) should dip at least as much as Poisson \

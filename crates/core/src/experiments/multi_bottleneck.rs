@@ -71,12 +71,7 @@ impl MultiBottleneckCurve {
     pub fn ratio_at(&self, ri_mbps: f64) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - ri_mbps)
-                    .abs()
-                    .partial_cmp(&(b.0 - ri_mbps).abs())
-                    .expect("finite rates")
-            })
+            .min_by(|a, b| (a.0 - ri_mbps).abs().total_cmp(&(b.0 - ri_mbps).abs()))
             .map(|&(_, ratio)| ratio)
     }
 }

@@ -8,7 +8,7 @@
 //! more information than the single `Ro/Ri` ratio) and the input/output
 //! rates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use abw_netsim::{
     packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration, SimTime,
@@ -103,9 +103,12 @@ pub struct ProbeRecord {
 }
 
 /// The probing receiver agent: records every probing packet by stream id.
+///
+/// Streams live in a `BTreeMap` so traversal order is deterministic by
+/// construction (D2), not only after the sort in [`ProbeReceiver::take`].
 #[derive(Default)]
 pub struct ProbeReceiver {
-    streams: HashMap<u32, Vec<ProbeRecord>>,
+    streams: BTreeMap<u32, Vec<ProbeRecord>>,
 }
 
 impl ProbeReceiver {

@@ -242,11 +242,7 @@ impl Scenario {
         self.hops
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.avail_bps()
-                    .partial_cmp(&b.1.avail_bps())
-                    .expect("finite avail-bw")
-            })
+            .min_by(|a, b| a.1.avail_bps().total_cmp(&b.1.avail_bps()))
             .expect("non-empty")
     }
 

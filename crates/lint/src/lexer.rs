@@ -1,0 +1,567 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! `abw-lint`'s rules are token-shaped ("`Instant` `::` `now`", "`==`
+//! adjacent to a float literal"), so a full parser would be wasted
+//! machinery. What *does* matter is never mis-reading source: a
+//! `println!` inside a string literal, a `HashMap` inside a doc comment,
+//! or an escape-hatch marker inside a raw string must not confuse the
+//! rules. This lexer therefore handles, precisely, the lexical layer:
+//!
+//! * line comments and (nested) block comments — kept as tokens, so the
+//!   rule engine can read `lint: allow(...)` markers out of them,
+//! * string, raw-string (any `#` depth), byte-string and char literals,
+//! * char-literal vs. lifetime disambiguation (`'a'` vs. `'a`),
+//! * numeric literals with underscores, suffixes and exponents,
+//! * float vs. tuple-index disambiguation (`0.5` vs. `x.0`),
+//! * multi-character operators (`==`, `!=`, `::`, `..=`, `->`, …).
+//!
+//! Everything is positioned by 1-based line and column so findings are
+//! clickable.
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including tuple indices).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// String / raw-string / byte-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// `//…` or `/*…*/` comment (doc comments included).
+    Comment,
+    /// Operator or punctuation, possibly multi-character (`==`, `::`).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokenKind,
+    /// The raw text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// Tokenizes `source`, returning every token including comments.
+///
+/// The lexer is lossy only about whitespace. Malformed input (an
+/// unterminated string, say) does not panic: the remainder of the file
+/// is swallowed into the open token, which is the best a linter can do.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    /// The previous non-comment token, if any — used for the tuple-index
+    /// and lifetime disambiguations.
+    fn prev_code_token(&self) -> Option<&Token> {
+        self.tokens
+            .iter()
+            .rev()
+            .find(|t| t.kind != TokenKind::Comment)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string_literal(line, col),
+                'r' | 'b' if self.starts_raw_or_byte_string() => self.raw_or_byte_string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphabetic() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Comment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; swallow
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Comment, text, line, col);
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `b"`, `br"`, `br#`, `b'`.
+    fn starts_raw_or_byte_string(&self) -> bool {
+        matches!(
+            (self.peek(), self.peek_at(1), self.peek_at(2)),
+            (Some('r'), Some('"' | '#'), _)
+                | (Some('b'), Some('"' | '\''), _)
+                | (Some('b'), Some('r'), Some('"' | '#'))
+        )
+    }
+
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        if self.peek() == Some('b') {
+            self.bump();
+        }
+        if self.peek() == Some('\'') {
+            // byte char literal b'x'
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Char, text, line, col);
+            return;
+        }
+        let raw = self.peek() == Some('r');
+        if raw {
+            self.bump();
+        }
+        if !raw {
+            // plain byte string b"…": same escape rules as a normal string
+            self.bump(); // '"'
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        } else {
+            // raw string r##"…"## — count the hashes, then scan for the
+            // matching close; no escapes inside
+            let mut hashes = 0usize;
+            while self.peek() == Some('#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening '"'
+            'scan: while let Some(c) = self.bump() {
+                if c == '"' {
+                    let mut seen = 0usize;
+                    while seen < hashes {
+                        if self.peek() == Some('#') {
+                            self.bump();
+                            seen += 1;
+                        } else {
+                            continue 'scan;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        // `'a'` is a char literal; `'a` (no closing quote) is a lifetime.
+        // `'\n'` etc. are chars. Disambiguate by looking ahead: a quote
+        // right after one char (or an escape) means char literal.
+        let start = self.pos;
+        let is_char = matches!(
+            (self.peek_at(1), self.peek_at(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        self.bump(); // '\''
+        if is_char {
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Char, text, line, col);
+        } else {
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text: String = self.chars[start..self.pos].iter().collect();
+            self.push(TokenKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // After a `.` token this is a tuple index (`x.0`): lex digits only,
+        // so `x.0.1` and `pair.0 == y` stay integers.
+        let after_dot = self
+            .prev_code_token()
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == ".");
+        let mut is_float = false;
+
+        if self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+        {
+            // radix literal: 0xff_u32 / 0o77 / 0b1010
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_ascii_digit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if !after_dot {
+                // fractional part: a `.` followed by a digit (NOT `..` or
+                // a method call like `1.max(2)`)
+                if self.peek() == Some('.') && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.bump(); // '.'
+                    while let Some(c) = self.peek() {
+                        if c == '_' || c.is_ascii_digit() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                } else if self.peek() == Some('.')
+                    && !matches!(self.peek_at(1), Some('.') | Some('_'))
+                    && !self.peek_at(1).is_some_and(|c| c.is_alphabetic())
+                {
+                    // trailing-dot float `1.`
+                    is_float = true;
+                    self.bump();
+                }
+                // exponent: 1e9, 2.5e-3
+                if matches!(self.peek(), Some('e' | 'E'))
+                    && (self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                        || (matches!(self.peek_at(1), Some('+' | '-'))
+                            && self.peek_at(2).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    is_float = true;
+                    self.bump(); // e
+                    if matches!(self.peek(), Some('+' | '-')) {
+                        self.bump();
+                    }
+                    while let Some(c) = self.peek() {
+                        if c == '_' || c.is_ascii_digit() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            // type suffix: 1.0f64, 3u32 — a float suffix forces Float
+            if self.peek().is_some_and(|c| c.is_alphabetic()) {
+                let suffix_start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        // longest-match over the multi-char operators the rules care
+        // about; everything else is a single char
+        const MULTI: &[&str] = &[
+            "..=", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "&&", "||", "..", "->", "=>", "+=",
+            "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+        ];
+        let rest: String = self.chars[self.pos..(self.pos + 3).min(self.chars.len())]
+            .iter()
+            .collect();
+        for op in MULTI {
+            if rest.starts_with(op) {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*op).to_string(), line, col);
+                return;
+            }
+        }
+        let c = self.bump().expect("punct with no char");
+        self.push(TokenKind::Punct, c.to_string(), line, col);
+    }
+}
+
+// Silence the unused-field warning: `src` documents what we lex and is
+// handy under a debugger.
+impl std::fmt::Debug for Lexer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Lexer at {}:{} of {} bytes",
+            self.line,
+            self.col,
+            self.src.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = a::b();");
+        let texts: Vec<&str> = ts.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(texts, ["let", "x", "=", "a", "::", "b", "(", ")", ";"]);
+        assert_eq!(ts[3].0, TokenKind::Ident);
+        assert_eq!(ts[4].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let ts = tokenize("// top\nfn f() {} /* mid\nspan */ x");
+        assert_eq!(ts[0].kind, TokenKind::Comment);
+        assert_eq!(ts[0].line, 1);
+        let block = ts.iter().find(|t| t.text.starts_with("/*")).unwrap();
+        assert_eq!(block.line, 2);
+        // the x after the multi-line block comment is on line 3
+        let x = ts.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* a /* b */ c */ after");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1].1, "after");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let ts = kinds(r#"let s = "println!(\"HashMap\")"; x"#);
+        assert!(ts
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "HashMap"));
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r##"quote " and "# inside"## ; done"####;
+        let ts = kinds(src);
+        let s = ts.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.ends_with(r###""##"###));
+        assert_eq!(ts.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ts = kinds("let c = 'x'; fn f<'a>(v: &'a str) {} let nl = '\\n';");
+        let chars: Vec<_> = ts.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        let lifetimes: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_tuple_index() {
+        let ts = kinds("a.0 == 20.0 && b == 1e9 && c.1.min(0) < 0x1f");
+        let floats: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["20.0", "1e9"]);
+        let ints: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, ["0", "1", "0", "0x1f"]);
+    }
+
+    #[test]
+    fn float_suffix_and_range() {
+        let ts = kinds("let a = 1f64; for i in 0..10 {} let b = 2.5e-3;");
+        let floats: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1f64", "2.5e-3"]);
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let ts = kinds("1.max(2)");
+        assert_eq!(ts[0].0, TokenKind::Int);
+        assert_eq!(ts[0].1, "1");
+    }
+
+    #[test]
+    fn columns_are_one_based_chars() {
+        let ts = tokenize("  abc == 1.5");
+        assert_eq!((ts[0].line, ts[0].col), (1, 3));
+        assert_eq!(ts[1].text, "==");
+        assert_eq!(ts[1].col, 7);
+    }
+}

@@ -1,0 +1,204 @@
+//! # abw-lint
+//!
+//! A zero-dependency, std-only static analyzer for this workspace's
+//! determinism and invariant contracts — the rules clippy cannot
+//! express because they are *repo policy*, not Rust policy.
+//!
+//! The paper this repo reproduces is a catalogue of measurement
+//! methodology bugs: estimates silently corrupted by timing, ordering
+//! and sampling mistakes. The workspace's own headline guarantee —
+//! byte-identical experiment output at any `ABW_JOBS` worker count — is
+//! exactly the kind of property that regresses from one careless
+//! `HashMap` iteration or wall-clock read. `abw-lint` machine-checks
+//! those hazards on every build:
+//!
+//! | id | name           | rule |
+//! |----|----------------|------|
+//! | D1 | `wall_clock`   | no `Instant::now`/`SystemTime::now` outside `exec`/`bench` |
+//! | D2 | `hash_iter`    | no `HashMap`/`HashSet` in `core`/`netsim`/`traffic`/`stats` |
+//! | D3 | `thread_spawn` | no `thread::spawn` outside `exec` |
+//! | D4 | `float_eq`     | no `==`/`!=` against float literals |
+//! | D5 | `print`        | no `println!`/`eprintln!` in library crates |
+//! | D6 | `rng`          | no unseeded / ambient RNG construction |
+//!
+//! Deliberate exceptions carry a `// lint: allow(<name>)` marker on the
+//! same line or the line above. Run it with `cargo run -p abw-lint`;
+//! the exit status is non-zero on any finding. The runtime counterpart
+//! — `ABW_CHECK=1` arming the simulator's invariant checks — lives in
+//! `abw-netsim::invariants` and covers the same failure class from the
+//! dynamic side.
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use rules::{check, FileClass, FileContext, Finding, Rule, ALL_RULES};
+
+/// A finding located in a file.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Path relative to the workspace root.
+    pub file: PathBuf,
+    /// The violation.
+    pub finding: Finding,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {} `{}`\n    hint: {}",
+            self.file.display(),
+            self.finding.line,
+            self.finding.col,
+            self.finding.rule,
+            self.finding.snippet,
+            self.finding.rule.hint()
+        )
+    }
+}
+
+/// Classifies a workspace-relative path into the context its rules run
+/// under. Returns `None` for files the linter skips entirely:
+/// vendored stand-in crates, build output, lint fixtures, and anything
+/// that is not Rust source.
+pub fn classify(rel: &Path) -> Option<FileContext> {
+    if rel.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.iter().map(|c| c.to_str().unwrap_or_default()).collect();
+    match parts.first().copied() {
+        // vendored offline stand-ins mirror third-party APIs; not ours
+        Some("vendor") | Some("target") | Some(".git") => None,
+        Some("crates") => {
+            let crate_name = parts.get(1).copied()?;
+            // the linter's own test fixtures contain violations on purpose
+            if crate_name == "lint"
+                && parts.get(2) == Some(&"tests")
+                && parts.get(3) == Some(&"fixtures")
+            {
+                return None;
+            }
+            Some(classify_targets(crate_name, &parts[2..]))
+        }
+        // root crate (the `abwe` facade): src/, examples/, tests/
+        Some(_) => Some(classify_targets("", &parts)),
+        None => None,
+    }
+}
+
+/// Maps the path inside one crate (`src/...`, `tests/...`, …) to a class.
+fn classify_targets(crate_name: &str, inside: &[&str]) -> FileContext {
+    let class = match inside.first().copied() {
+        Some("src") => {
+            if inside.get(1) == Some(&"bin") || inside.get(1) == Some(&"main.rs") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            }
+        }
+        Some("examples") | Some("benches") => FileClass::Bin,
+        Some("tests") => FileClass::Test,
+        // build scripts and stray files: treat as binary-adjacent
+        _ => FileClass::Bin,
+    };
+    FileContext {
+        crate_name: crate_name.to_string(),
+        class,
+    }
+}
+
+/// Lints one source string under an explicit context.
+pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
+    rules::check(ctx, &lexer::tokenize(source))
+}
+
+/// Lints every classified `.rs` file under `root`, in path order (the
+/// walk itself is deterministic — the linter practices what it
+/// preaches). I/O errors on individual files are reported as `Err`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Report>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut reports = Vec::new();
+    for rel in files {
+        let Some(ctx) = classify(&rel) else { continue };
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        for finding in lint_source(&ctx, &source) {
+            reports.push(Report {
+                file: rel.clone(),
+                finding,
+            });
+        }
+    }
+    Ok(reports)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_str().unwrap_or_default();
+        if path.is_dir() {
+            // prune the big skip-trees early instead of classifying
+            // every file inside them
+            if matches!(name, "target" | ".git" | "vendor") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_layers() {
+        let ctx = classify(Path::new("crates/netsim/src/sim.rs")).unwrap();
+        assert_eq!(ctx.crate_name, "netsim");
+        assert_eq!(ctx.class, FileClass::Lib);
+
+        let ctx = classify(Path::new("crates/bench/src/bin/fig1.rs")).unwrap();
+        assert_eq!(ctx.crate_name, "bench");
+        assert_eq!(ctx.class, FileClass::Bin);
+
+        let ctx = classify(Path::new("crates/exec/tests/pool.rs")).unwrap();
+        assert_eq!(ctx.class, FileClass::Test);
+
+        let ctx = classify(Path::new("tests/determinism.rs")).unwrap();
+        assert_eq!(ctx.crate_name, "");
+        assert_eq!(ctx.class, FileClass::Test);
+
+        let ctx = classify(Path::new("examples/quickstart.rs")).unwrap();
+        assert_eq!(ctx.class, FileClass::Bin);
+
+        let ctx = classify(Path::new("src/lib.rs")).unwrap();
+        assert_eq!(ctx.class, FileClass::Lib);
+    }
+
+    #[test]
+    fn classify_skips() {
+        assert!(classify(Path::new("vendor/rand/src/lib.rs")).is_none());
+        assert!(classify(Path::new("target/debug/build/foo.rs")).is_none());
+        assert!(classify(Path::new("crates/lint/tests/fixtures/d1_deny.rs")).is_none());
+        assert!(classify(Path::new("README.md")).is_none());
+    }
+
+    #[test]
+    fn lint_main_rs_counts_as_binary() {
+        let ctx = classify(Path::new("crates/lint/src/main.rs")).unwrap();
+        assert_eq!(ctx.class, FileClass::Bin);
+        assert!(lint_source(&ctx, r#"println!("findings");"#).is_empty());
+    }
+}

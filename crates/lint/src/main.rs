@@ -1,0 +1,92 @@
+//! `abw-lint` — run the workspace determinism & invariant rules.
+//!
+//! ```text
+//! cargo run -p abw-lint                 # lint the enclosing workspace
+//! cargo run -p abw-lint -- <path>       # lint an explicit workspace root
+//! cargo run -p abw-lint -- --file <f> [crate] [lib|bin|test]
+//!                                       # lint one file under an explicit
+//!                                       # context (defaults: core, lib)
+//! ```
+//!
+//! Prints one block per finding (`file:line:col: Dn(name) `snippet``
+//! plus a fix hint) and exits non-zero when anything fired.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use abw_lint::{FileClass, FileContext, Report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reports = if args.first().map(String::as_str) == Some("--file") {
+        match lint_single_file(&args[1..]) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("abw-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let root = args
+            .first()
+            .map(PathBuf::from)
+            .unwrap_or_else(workspace_root);
+        match abw_lint::lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("abw-lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+    for report in &reports {
+        println!("{report}");
+    }
+    if reports.is_empty() {
+        println!("abw-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("abw-lint: {} finding(s)", reports.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// `--file <path> [crate] [lib|bin|test]`: lint one file as though it
+/// lived in the given crate and target class. This is how the deny
+/// fixtures are exercised end-to-end.
+fn lint_single_file(args: &[String]) -> Result<Vec<Report>, String> {
+    let path = args.first().ok_or("--file requires a path")?;
+    let crate_name = args.get(1).map(String::as_str).unwrap_or("core");
+    let class = match args.get(2).map(String::as_str).unwrap_or("lib") {
+        "lib" => FileClass::Lib,
+        "bin" => FileClass::Bin,
+        "test" => FileClass::Test,
+        other => return Err(format!("unknown class `{other}` (lib|bin|test)")),
+    };
+    let ctx = FileContext {
+        crate_name: crate_name.to_string(),
+        class,
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(abw_lint::lint_source(&ctx, &source)
+        .into_iter()
+        .map(|finding| Report {
+            file: PathBuf::from(path),
+            finding,
+        })
+        .collect())
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo
+/// (this crate lives at `crates/lint`), else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let mut p = PathBuf::from(dir);
+            p.pop(); // crates/
+            p.pop(); // workspace root
+            p
+        }
+        None => PathBuf::from("."),
+    }
+}

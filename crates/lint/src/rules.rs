@@ -1,0 +1,391 @@
+//! The determinism & invariant rules (D1–D6) and the engine that runs
+//! them over a token stream.
+//!
+//! Each rule is a token-shaped pattern plus a *scope*: the set of crates
+//! or file classes it applies to. Scopes encode the workspace's layering
+//! contract — e.g. wall-clock reads are the executor's and the bench
+//! harness's business, never the simulation's. Deliberate exceptions are
+//! annotated in the source with an escape-hatch comment:
+//!
+//! ```text
+//! // lint: allow(float_eq)            — allows this line and the next
+//! let exact = x == 0.0;              //   (or the marker's own line)
+//! ```
+//!
+//! Multiple rules can be allowed at once: `// lint: allow(hash_iter, rng)`.
+
+use std::fmt;
+
+use crate::lexer::{Token, TokenKind};
+
+/// A lint rule. The `D*` ids match DESIGN.md §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: no ambient wall-clock reads outside `exec`/`bench`.
+    WallClock,
+    /// D2: no `HashMap`/`HashSet` in result-producing crates.
+    HashIter,
+    /// D3: no `thread::spawn` outside `exec`.
+    ThreadSpawn,
+    /// D4: no `==`/`!=` against floating-point values.
+    FloatEq,
+    /// D5: no `println!`/`eprintln!` in library crates.
+    Print,
+    /// D6: no unseeded / ambient RNG construction.
+    Rng,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::WallClock,
+    Rule::HashIter,
+    Rule::ThreadSpawn,
+    Rule::FloatEq,
+    Rule::Print,
+    Rule::Rng,
+];
+
+impl Rule {
+    /// Short id, `D1`…`D6`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "D1",
+            Rule::HashIter => "D2",
+            Rule::ThreadSpawn => "D3",
+            Rule::FloatEq => "D4",
+            Rule::Print => "D5",
+            Rule::Rng => "D6",
+        }
+    }
+
+    /// The name used in `lint: allow(...)` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall_clock",
+            Rule::HashIter => "hash_iter",
+            Rule::ThreadSpawn => "thread_spawn",
+            Rule::FloatEq => "float_eq",
+            Rule::Print => "print",
+            Rule::Rng => "rng",
+        }
+    }
+
+    /// Parses a marker name back into a rule.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// One-line fix hint attached to every finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "simulation code must use the virtual clock (netsim::time::SimTime); \
+                 wall-clock reads belong in crates/exec or crates/bench"
+            }
+            Rule::HashIter => {
+                "HashMap/HashSet iteration order is nondeterministic and can leak into \
+                 results; use BTreeMap/BTreeSet or add `// lint: allow(hash_iter)` \
+                 after proving no iteration feeds output"
+            }
+            Rule::ThreadSpawn => {
+                "all parallelism flows through abw_exec::Executor so results stay in \
+                 submission order; do not spawn threads elsewhere"
+            }
+            Rule::FloatEq => {
+                "exact float equality is order/rounding fragile; use f64::total_cmp, an \
+                 epsilon comparison, or add `// lint: allow(float_eq)` for deliberate \
+                 exact-zero guards"
+            }
+            Rule::Print => {
+                "library crates must not write to stdout/stderr; emit through abw-obs \
+                 or return data for the bench binaries to print"
+            }
+            Rule::Rng => {
+                "ambient entropy makes runs unreproducible; derive every RNG from a \
+                 scenario seed via StdRng::seed_from_u64"
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.id(), self.name())
+    }
+}
+
+/// How a file participates in the workspace, decided from its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Crate directory name under `crates/` (`"core"`, `"netsim"`, …);
+    /// empty string for the root `abwe` facade crate.
+    pub crate_name: String,
+    /// Coarse target kind.
+    pub class: FileClass,
+}
+
+/// Coarse target kind of a source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`src/**` except `src/bin` and `src/main.rs`).
+    Lib,
+    /// Binary-adjacent source: `src/bin/**`, `src/main.rs`,
+    /// `examples/**`, `benches/**`.
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+}
+
+impl FileContext {
+    /// Context for a library file of the given crate.
+    pub fn lib(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            class: FileClass::Lib,
+        }
+    }
+
+    /// Context for a binary/example file of the given crate.
+    pub fn bin(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            class: FileClass::Bin,
+        }
+    }
+
+    /// Context for an integration-test file of the given crate.
+    pub fn test(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            class: FileClass::Test,
+        }
+    }
+
+    /// Whether `rule` is enforced for files in this context.
+    pub fn enforces(&self, rule: Rule) -> bool {
+        let c = self.crate_name.as_str();
+        match rule {
+            // exec owns wall time (job timing); bench reports wall time
+            Rule::WallClock => !matches!(c, "exec" | "bench"),
+            // the crates whose outputs feed results, CSV, and traces
+            Rule::HashIter => matches!(c, "core" | "netsim" | "traffic" | "stats"),
+            Rule::ThreadSpawn => c != "exec",
+            Rule::FloatEq => true,
+            // bench's lib exists to serve its binaries; binaries and
+            // tests may print freely
+            Rule::Print => self.class == FileClass::Lib && c != "bench",
+            Rule::Rng => true,
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending token run, reassembled.
+    pub snippet: String,
+}
+
+/// Lines on which given rules are explicitly allowed.
+#[derive(Debug, Default)]
+struct Allows {
+    /// `(line, rule)` pairs; a marker covers its own line and the next.
+    entries: Vec<(u32, Rule)>,
+}
+
+impl Allows {
+    fn from_tokens(tokens: &[Token]) -> Self {
+        let mut allows = Allows::default();
+        for t in tokens {
+            if t.kind != TokenKind::Comment {
+                continue;
+            }
+            let Some(idx) = t.text.find("lint: allow(") else {
+                continue;
+            };
+            let rest = &t.text[idx + "lint: allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            for name in rest[..close].split(',') {
+                if let Some(rule) = Rule::from_name(name.trim()) {
+                    allows.entries.push((t.line, rule));
+                }
+            }
+        }
+        allows
+    }
+
+    /// True when `rule` is allowed on `line` (marker on the same line or
+    /// the line above).
+    fn covers(&self, line: u32, rule: Rule) -> bool {
+        self.entries
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Runs every applicable rule over `tokens`, honouring allow markers.
+pub fn check(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding> {
+    let allows = Allows::from_tokens(tokens);
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut findings = Vec::new();
+    let mut push = |rule: Rule, tok: &Token, snippet: String| {
+        if ctx.enforces(rule) && !allows.covers(tok.line, rule) {
+            findings.push(Finding {
+                rule,
+                line: tok.line,
+                col: tok.col,
+                snippet,
+            });
+        }
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                let next_is =
+                    |k: usize, text: &str| code.get(i + k).is_some_and(|n| n.text == text);
+                // D1: Instant::now / SystemTime::now
+                if (t.text == "Instant" || t.text == "SystemTime")
+                    && next_is(1, "::")
+                    && next_is(2, "now")
+                {
+                    push(Rule::WallClock, t, format!("{}::now", t.text));
+                }
+                // D2: any HashMap/HashSet mention (import or use site)
+                if t.text == "HashMap" || t.text == "HashSet" {
+                    push(Rule::HashIter, t, t.text.clone());
+                }
+                // D3: thread::spawn
+                if t.text == "thread" && next_is(1, "::") && next_is(2, "spawn") {
+                    push(Rule::ThreadSpawn, t, "thread::spawn".to_string());
+                }
+                // D5: print family macros
+                if matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+                    && next_is(1, "!")
+                {
+                    push(Rule::Print, t, format!("{}!", t.text));
+                }
+                // D6: ambient entropy constructors
+                if matches!(
+                    t.text.as_str(),
+                    "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng" | "ThreadRng"
+                ) {
+                    push(Rule::Rng, t, t.text.clone());
+                }
+                // D6: the `rand::random()` free function
+                if t.text == "rand" && next_is(1, "::") && next_is(2, "random") {
+                    push(Rule::Rng, t, "rand::random".to_string());
+                }
+            }
+            TokenKind::Punct if t.text == "==" || t.text == "!=" => {
+                // D4: float literal on either side of ==/!=
+                let prev_float = i > 0 && code[i - 1].kind == TokenKind::Float;
+                let next_float = code.get(i + 1).is_some_and(|n| n.kind == TokenKind::Float);
+                // also catch `== f64::NAN`-style named float constants
+                let next_named_float = code.get(i + 1).is_some_and(|n| {
+                    (n.text == "f64" || n.text == "f32")
+                        && code.get(i + 2).is_some_and(|c| c.text == "::")
+                });
+                if prev_float || next_float || next_named_float {
+                    let lhs = if i > 0 { code[i - 1].text.as_str() } else { "" };
+                    let rhs = code.get(i + 1).map_or("", |n| n.text.as_str());
+                    push(Rule::FloatEq, t, format!("{lhs} {} {rhs}", t.text));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn run(ctx: FileContext, src: &str) -> Vec<Finding> {
+        check(&ctx, &tokenize(src))
+    }
+
+    #[test]
+    fn wall_clock_denied_in_netsim_allowed_in_exec() {
+        let src = "let t = Instant::now();";
+        assert_eq!(run(FileContext::lib("netsim"), src).len(), 1);
+        assert_eq!(
+            run(FileContext::lib("netsim"), src)[0].rule,
+            Rule::WallClock
+        );
+        assert!(run(FileContext::lib("exec"), src).is_empty());
+        assert!(run(FileContext::lib("bench"), src).is_empty());
+    }
+
+    #[test]
+    fn hash_map_only_in_result_crates() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(run(FileContext::lib("core"), src).len(), 1);
+        assert!(run(FileContext::lib("tcp"), src).is_empty());
+        let marked = "use std::collections::HashMap; // lint: allow(hash_iter)";
+        assert!(run(FileContext::lib("core"), marked).is_empty());
+    }
+
+    #[test]
+    fn float_eq_with_marker_above() {
+        let src = "if x == 0.0 { return; }";
+        assert_eq!(run(FileContext::lib("stats"), src).len(), 1);
+        let marked = "// exact-zero guard: lint: allow(float_eq)\nif x == 0.0 { return; }";
+        assert!(run(FileContext::lib("stats"), marked).is_empty());
+    }
+
+    #[test]
+    fn tuple_index_comparison_is_not_float_eq() {
+        // integer == integer, even though it reads like a decimal
+        let src = "if pair.0 == pair.1 {}";
+        assert!(run(FileContext::lib("stats"), src).is_empty());
+    }
+
+    #[test]
+    fn print_scoped_to_library_class() {
+        let src = r#"println!("hi");"#;
+        assert_eq!(run(FileContext::lib("core"), src).len(), 1);
+        assert!(run(FileContext::bin("core"), src).is_empty());
+        assert!(run(FileContext::test("core"), src).is_empty());
+        assert!(run(FileContext::lib("bench"), src).is_empty());
+    }
+
+    #[test]
+    fn patterns_in_strings_and_comments_do_not_fire() {
+        let src = r#"
+            // HashMap and Instant::now in a comment
+            let s = "thread_rng() println!";
+        "#;
+        assert!(run(FileContext::lib("core"), src).is_empty());
+    }
+
+    #[test]
+    fn rng_entropy_denied_everywhere() {
+        for ctx in [
+            FileContext::lib("traffic"),
+            FileContext::bin("bench"),
+            FileContext::test(""),
+        ] {
+            assert_eq!(run(ctx, "let mut r = thread_rng();").len(), 1);
+        }
+    }
+
+    #[test]
+    fn allow_marker_names_multiple_rules() {
+        let src = "let m: HashMap<u32, f64> = HashMap::new(); // lint: allow(hash_iter, float_eq)";
+        assert!(run(FileContext::lib("netsim"), src).is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+// D1 allow: simulation code on the virtual clock; the one deliberate
+// wall-clock read carries the escape-hatch marker.
+
+pub fn now_virtual(sim: &Simulator) -> SimTime {
+    sim.now()
+}
+
+pub fn profiling_probe() -> std::time::Instant {
+    Instant::now() // lint: allow(wall_clock)
+}

@@ -1,0 +1,8 @@
+// D1 deny: an ambient wall-clock read inside simulation code.
+// Linted as if it lived in `crates/netsim/src/`.
+
+pub fn stamp() -> std::time::Instant {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started
+}

@@ -1,0 +1,12 @@
+// D2 allow: ordered map by construction, plus one marked exception
+// whose iteration order provably never reaches output.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap; // lint: allow(hash_iter)
+
+pub struct PerStream {
+    by_id: BTreeMap<u32, Vec<f64>>,
+    // membership-only; never iterated
+    // lint: allow(hash_iter)
+    seen: HashMap<u64, ()>,
+}

@@ -1,0 +1,8 @@
+// D2 deny: HashMap in a result-producing crate.
+// Linted as if it lived in `crates/core/src/`.
+
+use std::collections::HashMap;
+
+pub struct PerStream {
+    by_id: HashMap<u32, Vec<f64>>,
+}

@@ -1,0 +1,7 @@
+// D3 allow: parallelism flows through the executor, which preserves
+// submission order and capture-merges observability state.
+
+pub fn fan_out(jobs: Vec<Job>) -> Vec<Out> {
+    let pool = abw_exec::Executor::from_env();
+    pool.run(jobs)
+}

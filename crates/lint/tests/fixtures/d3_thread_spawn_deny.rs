@@ -1,0 +1,7 @@
+// D3 deny: ad-hoc thread outside the executor crate.
+// Linted as if it lived in `crates/core/src/`.
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 42);
+    let _ = handle.join();
+}

@@ -1,0 +1,19 @@
+// D4 allow: total_cmp for ordering, epsilon for closeness, and a marked
+// exact-zero guard.
+
+pub fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn safe_div(num: f64, den: f64) -> Option<f64> {
+    // exact-zero guard against division by zero; lint: allow(float_eq)
+    if den == 0.0 {
+        return None;
+    }
+    Some(num / den)
+}

@@ -1,0 +1,9 @@
+// D4 deny: exact float equality in result logic.
+
+pub fn at_rate(points: &[(f64, f64)], mbps: f64) -> Option<f64> {
+    points.iter().find(|p| p.1 == 20.0).map(|p| p.1)
+}
+
+pub fn is_different(x: f64) -> bool {
+    x != 1.5e6
+}

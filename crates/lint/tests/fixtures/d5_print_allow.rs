@@ -1,0 +1,7 @@
+// D5 allow: the library emits structured events through abw-obs and
+// returns data; only bench binaries print.
+
+pub fn report(sim: &mut Simulator, estimate_bps: f64) -> f64 {
+    sim.emit("tool.estimate", &[("bps", (estimate_bps as u64).into())]);
+    estimate_bps
+}

@@ -1,0 +1,7 @@
+// D5 deny: writing to stdout/stderr from a library crate.
+// Linted as if it lived in `crates/core/src/`.
+
+pub fn report(estimate_bps: f64) {
+    println!("estimate: {estimate_bps}");
+    eprintln!("warning: low confidence");
+}

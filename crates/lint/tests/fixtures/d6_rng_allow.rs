@@ -1,0 +1,9 @@
+// D6 allow: every RNG is derived from a scenario seed, so a run is a
+// pure function of its seeds.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.random::<f64>()
+}

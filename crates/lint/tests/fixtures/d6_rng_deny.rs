@@ -1,0 +1,6 @@
+// D6 deny: ambient entropy makes runs unreproducible.
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rand::random::<f64>() + rng.next_u64() as f64
+}

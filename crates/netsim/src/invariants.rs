@@ -1,0 +1,117 @@
+//! `ABW_CHECK` runtime invariant checks.
+//!
+//! The static side of the workspace's correctness tooling (`abw-lint`)
+//! catches determinism hazards at the token level; this module is the
+//! dynamic side: simulator-state invariants that are too expensive (or
+//! too semantic) to check on every run, armed on demand.
+//!
+//! * **Arming.** Set `ABW_CHECK=1` (or `true`/`on`) in the environment,
+//!   or call [`arm`] programmatically. The flag is read once per
+//!   process.
+//! * **Cost model.** In release builds [`armed`] is `const false`, so
+//!   every check — including its operand expressions — compiles out
+//!   entirely. In debug builds an unarmed check costs one relaxed
+//!   atomic load plus a lazily-initialised environment read.
+//! * **What is checked.** Event-clock monotonicity, per-link FIFO
+//!   packet conservation (accepted = forwarded + in-queue, with
+//!   byte-level agreement), exact busy-period bookkeeping, and global
+//!   packet conservation at quiescence. A violation panics with an
+//!   `ABW_CHECK invariant violated:` message — these are simulator
+//!   bugs, never user errors.
+//!
+//! CI runs a debug-profile `ABW_CHECK=1 cargo test` leg so the
+//! invariants actually execute against the whole suite.
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static FORCED: AtomicBool = AtomicBool::new(false);
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+
+    /// True when invariant checks are armed for this process.
+    pub fn armed() -> bool {
+        FORCED.load(Ordering::Relaxed)
+            || *FROM_ENV.get_or_init(|| {
+                matches!(
+                    std::env::var("ABW_CHECK").as_deref(),
+                    Ok("1") | Ok("true") | Ok("on")
+                )
+            })
+    }
+
+    /// Arms the checks process-wide, regardless of the environment.
+    pub fn arm() {
+        FORCED.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Release builds compile every check out: `armed` is `const false`
+    /// and the dead branches vanish.
+    #[inline(always)]
+    pub const fn armed() -> bool {
+        false
+    }
+
+    /// No-op in release builds.
+    #[inline(always)]
+    pub fn arm() {}
+}
+
+pub use imp::{arm, armed};
+
+/// Checks `$cond` when the invariants are armed; panics with the
+/// formatted message on violation. The condition and message operands
+/// are not evaluated while disarmed, so checks may walk queues freely.
+macro_rules! invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        if $crate::invariants::armed() && !($cond) {
+            panic!("ABW_CHECK invariant violated: {}", format_args!($($arg)+));
+        }
+    };
+}
+pub(crate) use invariant;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn armed_invariant_panics_on_violation() {
+        arm();
+        let caught = std::panic::catch_unwind(|| {
+            invariant!(1 + 1 == 3, "arithmetic broke: {}", 42);
+        });
+        let payload = caught.expect_err("violated invariant must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is the formatted message");
+        assert!(msg.contains("ABW_CHECK invariant violated"), "{msg}");
+        assert!(msg.contains("arithmetic broke: 42"), "{msg}");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn armed_invariant_passes_when_true() {
+        arm();
+        invariant!(2 + 2 == 4, "never printed");
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_builds_disarm_completely() {
+        arm();
+        assert!(!armed());
+        // the condition must not even be evaluated
+        invariant!(
+            { unreachable!("release must not evaluate conditions") },
+            "never"
+        );
+    }
+}

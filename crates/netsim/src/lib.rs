@@ -34,6 +34,7 @@
 
 pub mod agent;
 pub mod event;
+pub mod invariants;
 pub mod link;
 pub mod packet;
 pub mod sim;

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use abw_obs::manifest::LinkSnapshot;
 use abw_obs::metrics::LogLinearHistogram;
 
+use crate::invariants::invariant;
 use crate::packet::Packet;
 use crate::time::{transmission_time, SimDuration, SimTime};
 
@@ -132,6 +133,9 @@ pub struct Link {
     tx_started_at: SimTime,
     counters: LinkCounters,
     busy: BusyLog,
+    /// Packets accepted into the queue (fuel for the `ABW_CHECK`
+    /// conservation invariant: accepted = forwarded + in-queue).
+    accepted_pkts: u64,
     /// Largest queue depth seen, in packets (including the one in
     /// service). Tracked unconditionally — it is two instructions.
     peak_queue_pkts: u64,
@@ -152,6 +156,7 @@ impl Link {
             tx_started_at: SimTime::ZERO,
             counters: LinkCounters::default(),
             busy: BusyLog::default(),
+            accepted_pkts: 0,
             peak_queue_pkts: 0,
             depth_hist: None,
         }
@@ -252,11 +257,13 @@ impl Link {
         }
         self.queued_bytes += packet.size as u64;
         self.queue.push_back(packet);
+        self.accepted_pkts += 1;
         let depth = self.queue.len() as u64;
         self.peak_queue_pkts = self.peak_queue_pkts.max(depth);
         if let Some(hist) = self.depth_hist.as_deref_mut() {
             hist.record(depth);
         }
+        self.check_conservation("enqueue");
         EnqueueOutcome::Accepted {
             starts_service: !self.transmitting,
         }
@@ -289,13 +296,56 @@ impl Link {
             .queue
             .pop_front()
             .expect("transmission finished on empty queue");
+        // busy-period bookkeeping: the completion event must fire exactly
+        // one serialisation time after service began
+        invariant!(
+            now >= self.tx_started_at
+                && now.since(self.tx_started_at)
+                    == transmission_time(packet.size, self.config.capacity_bps),
+            "link busy-period bookkeeping: tx of {} B started at {} but finished at {} \
+             (capacity {} b/s)",
+            packet.size,
+            self.tx_started_at,
+            now,
+            self.config.capacity_bps
+        );
+        invariant!(
+            self.queued_bytes >= packet.size as u64,
+            "link queue depth went negative: {} queued bytes < {} B packet leaving",
+            self.queued_bytes,
+            packet.size
+        );
         self.queued_bytes -= packet.size as u64;
         self.counters.forwarded_pkts += 1;
         self.counters.forwarded_bytes += packet.size as u64;
         if self.config.record_busy {
             self.busy.push(self.tx_started_at, now);
         }
+        self.check_conservation("finish_transmission");
         (packet, !self.queue.is_empty())
+    }
+
+    /// `ABW_CHECK` FIFO conservation: every packet accepted into the
+    /// queue is either forwarded or still queued (dropped packets never
+    /// enter), and the byte ledger agrees with the queue contents.
+    /// Free when disarmed — the operands are not evaluated.
+    fn check_conservation(&self, site: &str) {
+        invariant!(
+            self.accepted_pkts == self.counters.forwarded_pkts + self.queue.len() as u64,
+            "link packet conservation at {site}: accepted {} != forwarded {} + in-queue {}",
+            self.accepted_pkts,
+            self.counters.forwarded_pkts,
+            self.queue.len()
+        );
+        invariant!(
+            self.queued_bytes == self.queue.iter().map(|p| p.size as u64).sum::<u64>(),
+            "link byte ledger at {site}: {} queued bytes != queue contents",
+            self.queued_bytes
+        );
+        invariant!(
+            !self.transmitting || !self.queue.is_empty(),
+            "link busy-period bookkeeping at {site}: transmitting with an empty queue"
+        );
     }
 
     /// Instantaneous queueing delay a newly arriving packet would see:

@@ -26,6 +26,7 @@ pub fn autocovariance(series: &[f64], lag: usize) -> Option<f64> {
 /// Returns `None` for degenerate inputs (constant series or too-large lag).
 pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
     let c0 = autocovariance(series, 0)?;
+    // exact-zero variance = constant series; lint: allow(float_eq)
     if c0 == 0.0 {
         return None;
     }

@@ -23,7 +23,7 @@ impl Ecdf {
     /// Builds an ECDF from samples. NaN samples are dropped.
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaNs removed"));
+        samples.sort_by(f64::total_cmp);
         Ecdf { sorted: samples }
     }
 
@@ -54,6 +54,7 @@ impl Ecdf {
         if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
+        // exact q=0 picks the minimum by definition; lint: allow(float_eq)
         if q == 0.0 {
             return Some(self.sorted[0]);
         }

@@ -82,6 +82,7 @@ fn rescaled_range(block: &[f64]) -> Option<f64> {
         var += (x - mean) * (x - mean);
     }
     let sd = (var / n).sqrt();
+    // exact-zero stddev = constant block; lint: allow(float_eq)
     if sd == 0.0 {
         None
     } else {

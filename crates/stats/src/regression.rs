@@ -44,11 +44,14 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
         sxy += dx * dy;
         syy += dy * dy;
     }
+    // exact-zero guards: degenerate (vertical / constant) inputs, not
+    // tolerance checks; lint: allow(float_eq)
     if sxx == 0.0 {
         return None;
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
+    // lint: allow(float_eq)
     let r2 = if syy == 0.0 {
         1.0 // all y equal: the horizontal fit is exact
     } else {

@@ -125,6 +125,7 @@ impl Running {
 
     /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
     pub fn cv(&self) -> f64 {
+        // exact-zero guard against division by zero; lint: allow(float_eq)
         if self.mean() == 0.0 {
             0.0
         } else {

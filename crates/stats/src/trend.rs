@@ -48,6 +48,7 @@ pub fn pdt(owds: &[f64]) -> f64 {
         return 0.0;
     }
     let total_variation: f64 = owds.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    // exact-zero guard against division by zero; lint: allow(float_eq)
     if total_variation == 0.0 {
         return 0.0;
     }
@@ -154,7 +155,9 @@ pub fn median(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    // total_cmp: a stray NaN sorts to the end instead of aborting the
+    // whole experiment run
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

@@ -68,7 +68,7 @@ fn main() {
 
         let owds: Vec<f64> = result.relative_owds();
         let mut sorted = owds.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let p99 = sorted[(sorted.len() as f64 * 0.99) as usize - 1];
         println!(
             "{:>22}  {:>10.1}  {:>9.2} ms  {:>9.2} ms  {:>9.1}%",

@@ -75,7 +75,7 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&p));
         prop_assert!((-1.0..=1.0).contains(&d));
         let mut sorted = xs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         sorted.dedup();
         if sorted.len() >= 2 {
             prop_assert_eq!(pct(&sorted), 1.0);

@@ -58,6 +58,8 @@ pub struct CapacityReport {
     pub samples: abw_stats::running::Summary,
     /// Pairs that produced a usable dispersion.
     pub usable_pairs: u32,
+    /// Probing packets transmitted (two per pair).
+    pub probe_packets: u64,
 }
 
 /// The packet-pair capacity prober.
@@ -102,6 +104,7 @@ impl CapacityProber {
             capacity_bps: capacity,
             samples: running.summary(),
             usable_pairs: estimates.len() as u32,
+            probe_packets: self.config.pairs as u64 * 2,
         }
     }
 }

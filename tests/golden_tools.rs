@@ -1,0 +1,202 @@
+//! Golden equivalence pin for the estimation tools.
+//!
+//! `tests/golden/tools_pre_refactor.csv` was generated from the
+//! pre-refactor blocking `run()` implementations (one row per registry
+//! tool and seed, `avail_bps` printed with `{}` so the shortest
+//! round-trip representation pins the exact f64 bits). The test proves
+//! the resumable state-machine rewrite reproduces every estimate and
+//! packet count bit-identically.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! ABW_UPDATE_GOLDEN=1 cargo test --test golden_tools
+//! ```
+//! then commit the diff under `tests/golden/` with the reason.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use abw_netsim::SimDuration;
+use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
+use abwe::core::tools::bfind::{Bfind, BfindConfig};
+use abwe::core::tools::capacity::{CapacityConfig, CapacityProber};
+use abwe::core::tools::delphi::{Delphi, DelphiConfig};
+use abwe::core::tools::direct::{DirectConfig, DirectProber};
+use abwe::core::tools::igi::{Igi, IgiConfig};
+use abwe::core::tools::pathchirp::{Pathchirp, PathchirpConfig};
+use abwe::core::tools::pathload::{Pathload, PathloadConfig};
+use abwe::core::tools::schirp::{Schirp, SchirpConfig};
+use abwe::core::tools::spruce::{Spruce, SpruceConfig};
+use abwe::core::tools::topp::{Topp, ToppConfig};
+
+const SEEDS: [u64; 3] = [101, 202, 303];
+
+fn fresh(seed: u64) -> Scenario {
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::Poisson,
+        seed,
+        ..SingleHopConfig::default()
+    });
+    s.warm_up(SimDuration::from_millis(500));
+    s
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("ABW_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run with ABW_UPDATE_GOLDEN=1 to create it)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the pre-refactor pin;\n\
+         the state machines must reproduce the blocking implementations \
+         bit-identically — if the change is intentional, regenerate with \
+         ABW_UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+/// Every registry tool, three seeds, quick settings: the estimates and
+/// packet counts must match the pre-refactor `run()` loops exactly.
+#[test]
+fn state_machines_match_pre_refactor_goldens() {
+    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64)>;
+    let ct = 50e6;
+    let tools: Vec<(&'static str, ToolFn)> = vec![
+        (
+            "direct",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = DirectProber::new(DirectConfig {
+                    streams: 20,
+                    ..DirectConfig::canonical()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets)
+            }),
+        ),
+        (
+            "delphi",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Delphi::new(DelphiConfig {
+                    trains: 15,
+                    ..DelphiConfig::new(ct)
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets)
+            }),
+        ),
+        (
+            "spruce",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Spruce::new(SpruceConfig {
+                    pairs: 50,
+                    ..SpruceConfig::new(ct)
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets)
+            }),
+        ),
+        (
+            "topp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                r.stream_gap = SimDuration::from_millis(5);
+                let rep = Topp::new(ToppConfig {
+                    step_bps: 3e6,
+                    streams_per_rate: 3,
+                    ..ToppConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (rep.avail_bps, rep.probe_packets)
+            }),
+        ),
+        (
+            "pathload",
+            Box::new(move |s| {
+                let rep = Pathload::new(PathloadConfig::quick()).run(s);
+                (
+                    (rep.range_bps.0 + rep.range_bps.1) / 2.0,
+                    rep.probe_packets,
+                )
+            }),
+        ),
+        (
+            "pathchirp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Pathchirp::new(PathchirpConfig {
+                    chirps: 15,
+                    ..PathchirpConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets)
+            }),
+        ),
+        (
+            "schirp",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let e = Schirp::new(SchirpConfig {
+                    chirps: 15,
+                    ..SchirpConfig::default()
+                })
+                .run(&mut s.sim, &mut r);
+                (e.avail_bps, e.probe_packets)
+            }),
+        ),
+        (
+            "igi",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+                (rep.igi_bps, rep.probe_packets)
+            }),
+        ),
+        (
+            "ptr",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
+                (rep.ptr_bps, rep.probe_packets)
+            }),
+        ),
+        (
+            "bfind",
+            Box::new(move |s| {
+                let rep = Bfind::new(BfindConfig::default()).run(s);
+                (rep.avail_bps, rep.probe_packets)
+            }),
+        ),
+        (
+            "capacity",
+            Box::new(move |s| {
+                let mut r = s.runner();
+                let rep = CapacityProber::new(CapacityConfig::default()).run(&mut s.sim, &mut r);
+                (rep.capacity_bps, rep.probe_packets)
+            }),
+        ),
+    ];
+
+    let mut csv = String::from("tool,seed,avail_bps,probe_packets\n");
+    for (name, tool) in &tools {
+        for &seed in &SEEDS {
+            let mut s = fresh(seed);
+            let (avail_bps, probe_packets) = tool(&mut s);
+            writeln!(csv, "{name},{seed},{avail_bps},{probe_packets}").expect("write csv row");
+        }
+    }
+    check_golden("tools_pre_refactor.csv", &csv);
+}

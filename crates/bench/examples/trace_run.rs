@@ -5,7 +5,10 @@
 //!
 //! This is the in-process counterpart of `ABW_TRACE=run.jsonl`: the same
 //! events that stream to a JSONL file can be consumed directly as typed
-//! [`OwnedEvent`]s.
+//! [`OwnedEvent`]s. The tools are instantiated by name through the
+//! registry and driven by the session driver, which emits each tool's
+//! buffered decision events at the same simulation instant the old
+//! blocking implementations did.
 //!
 //! Usage: `cargo run --release --example trace_run`
 
@@ -13,9 +16,8 @@ use std::sync::{Arc, Mutex};
 
 use abw_bench::{f, Format, Table};
 use abw_core::scenario::{Scenario, SingleHopConfig};
-use abw_core::tools::igi::{Igi, IgiConfig};
-use abw_core::tools::pathload::{Pathload, PathloadConfig};
-use abw_core::tools::topp::{Topp, ToppConfig};
+use abw_core::tools::registry::{self, ToolConfig};
+use abw_core::tools::Verdict;
 use abw_netsim::SimDuration;
 use abw_obs::{MemoryRecorder, OwnedEvent, OwnedValue};
 
@@ -30,6 +32,16 @@ fn traced_scenario(seed: u64) -> (Scenario, Arc<Mutex<MemoryRecorder>>) {
     let mem = Arc::new(Mutex::new(MemoryRecorder::new()));
     s.sim.set_recorder(Box::new(Arc::clone(&mem)));
     (s, mem)
+}
+
+/// Runs one registry tool (quick settings) against a traced scenario.
+fn traced_run(name: &str, seed: u64) -> (Verdict, Arc<Mutex<MemoryRecorder>>) {
+    let (mut s, mem) = traced_scenario(seed);
+    let entry = registry::find(name).expect("registered tool");
+    let mut tool = entry.build(&ToolConfig::quick());
+    let mut session = s.session();
+    let verdict = session.drive(&mut s.sim, tool.as_mut());
+    (verdict, mem)
 }
 
 fn fu(ev: &OwnedEvent, name: &str) -> u64 {
@@ -49,11 +61,7 @@ fn main() {
     println!("(true avail-bw 25 Mb/s). Convergence replayed from trace events.\n");
 
     // -- Pathload: binary search over the rate interval --------------
-    let (mut s, mem) = traced_scenario(7);
-    let report = {
-        let mut runner = s.runner();
-        Pathload::new(PathloadConfig::quick()).run_with(&mut s.sim, &mut runner)
-    };
+    let (verdict, mem) = traced_run("pathload", 7);
     let mut table = Table::new(vec!["fleet", "rate_mbps", "verdict", "lo_mbps", "hi_mbps"]);
     let mem = mem.lock().unwrap();
     for ev in mem.of_kind("pathload.fleet") {
@@ -67,25 +75,16 @@ fn main() {
     }
     println!("Pathload — grey-region binary search, one row per fleet:");
     table.print(Format::Text);
+    let (lo, hi) = verdict.range_bps().expect("pathload reports a range");
     println!(
         "reported range: [{}, {}] Mb/s\n",
-        f(report.range_bps.0 / 1e6, 2),
-        f(report.range_bps.1 / 1e6, 2),
+        f(lo / 1e6, 2),
+        f(hi / 1e6, 2),
     );
     drop(mem);
 
     // -- TOPP: rate sweep looking for the turning point --------------
-    let (mut s, mem) = traced_scenario(7);
-    let report = {
-        let mut runner = s.runner();
-        runner.stream_gap = SimDuration::from_millis(5);
-        Topp::new(ToppConfig {
-            step_bps: 3e6,
-            streams_per_rate: 3,
-            ..ToppConfig::default()
-        })
-        .run(&mut s.sim, &mut runner)
-    };
+    let (verdict, mem) = traced_run("topp", 7);
     let mut table = Table::new(vec!["round", "ri_mbps", "ro_mbps", "ri/ro"]);
     let mem = mem.lock().unwrap();
     for ev in mem.of_kind("topp.round") {
@@ -98,15 +97,11 @@ fn main() {
     }
     println!("TOPP — offered vs measured rate, one row per probing round:");
     table.print(Format::Text);
-    println!("estimate: {} Mb/s\n", f(report.avail_bps / 1e6, 2));
+    println!("estimate: {} Mb/s\n", f(verdict.avail_bps() / 1e6, 2));
     drop(mem);
 
     // -- IGI/PTR: gap equalisation ------------------------------------
-    let (mut s, mem) = traced_scenario(7);
-    let report = {
-        let mut runner = s.runner();
-        Igi::new(IgiConfig::default()).run(&mut s.sim, &mut runner)
-    };
+    let (verdict, mem) = traced_run("igi", 7);
     let mut table = Table::new(vec!["train", "rate_mbps", "igi_mbps", "ptr_mbps", "turned"]);
     let mem = mem.lock().unwrap();
     for ev in mem.of_kind("igi.train") {
@@ -123,5 +118,5 @@ fn main() {
     }
     println!("IGI/PTR — gap convergence, one row per probing train:");
     table.print(Format::Text);
-    println!("IGI estimate: {} Mb/s", f(report.igi_bps / 1e6, 2));
+    println!("IGI estimate: {} Mb/s", f(verdict.avail_bps() / 1e6, 2));
 }

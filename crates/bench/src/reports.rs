@@ -7,6 +7,7 @@
 
 use abw_core::experiments::pairs_vs_trains::PairsVsTrainsResult;
 use abw_core::experiments::shootout::ShootoutResult;
+use abw_core::experiments::tracking::TrackingResult;
 
 use crate::{f, Table};
 
@@ -30,6 +31,31 @@ pub fn shootout_table(result: &ShootoutResult) -> Table {
             f(r.mean_packets, 0),
             f(r.mean_latency_secs, 2),
         ]);
+    }
+    t
+}
+
+/// The tracking table: one row per (tool, avail-bw step), with the lag
+/// until the first in-band estimate and the tool's overall mean absolute
+/// tracking error in Mb/s.
+pub fn tracking_table(result: &TrackingResult) -> Table {
+    let mut t = Table::new(vec![
+        "tool",
+        "step_Mbps",
+        "step_at_s",
+        "lag_s",
+        "mean_abs_err_Mbps",
+    ]);
+    for track in &result.tracks {
+        for step in &track.steps {
+            t.row(vec![
+                track.tool.to_string(),
+                f(step.truth_bps / 1e6, 0),
+                f(step.t_secs, 2),
+                step.lag_secs.map_or_else(|| "-".to_string(), |l| f(l, 2)),
+                f(track.mean_abs_error_mbps, 2),
+            ]);
+        }
     }
     t
 }

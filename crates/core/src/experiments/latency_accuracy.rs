@@ -11,6 +11,7 @@ use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 use abw_stats::sampling::relative_error;
 
+use crate::probe::Session;
 use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
 use crate::tools::direct::{DirectConfig, DirectProber};
 
@@ -103,17 +104,18 @@ pub fn run(config: &LatencyAccuracyConfig) -> LatencyAccuracyResult {
                 });
                 s.warm_up(SimDuration::from_millis(300));
                 let mut runner = s.runner();
-                let est = DirectProber::new(DirectConfig {
+                let mut tool = DirectProber::new(DirectConfig {
                     tight_capacity_bps: 50e6,
                     input_rate_bps: 40e6,
                     packet_size: 1500,
                     stream_duration: SimDuration::from_millis(duration_ms),
                     streams,
                 })
-                .run(&mut s.sim, &mut runner);
-                errors.push(relative_error(est.avail_bps, truth).abs());
-                estimates.push(est.avail_bps);
-                latency.push(est.elapsed_secs);
+                .estimator();
+                let verdict = Session::over(&mut runner).drive(&mut s.sim, &mut tool);
+                errors.push(relative_error(verdict.avail_bps(), truth).abs());
+                estimates.push(verdict.avail_bps());
+                latency.push(verdict.elapsed_secs());
             }
             cells.push(LatencyAccuracyCell {
                 streams,

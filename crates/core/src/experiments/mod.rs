@@ -14,6 +14,7 @@ pub mod shootout;
 pub mod tcp_throughput;
 pub mod tight_vs_narrow;
 pub mod timescale_knob;
+pub mod tracking;
 pub mod train_length;
 pub mod trend_thresholds;
 pub mod variability;

@@ -3,25 +3,21 @@
 //!
 //! §4: *"compare and evaluate the existing estimation techniques under
 //! reproducible and controllable conditions, and with the same
-//! configuration parameters."* Each tool runs against its own fresh
-//! replica of the same scenario (same seed ⇒ identical cross traffic),
-//! over several seeds; the table reports mean estimate, bias, spread,
-//! probing overhead and latency.
+//! configuration parameters."* Each tool comes from the [`registry`]
+//! and runs against its own fresh replica of the same scenario (same
+//! seed ⇒ identical cross traffic), over several seeds; the table
+//! reports mean estimate, bias, spread, probing overhead and latency.
+//!
+//! The capacity prober is excluded: it estimates `Cn`, not avail-bw, so
+//! a bias column would be meaningless (that contrast is the
+//! `tight_vs_narrow` experiment).
 
 use abw_exec::Executor;
 use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 
 use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
-use crate::tools::bfind::{Bfind, BfindConfig};
-use crate::tools::delphi::{Delphi, DelphiConfig};
-use crate::tools::direct::{DirectConfig, DirectProber};
-use crate::tools::igi::{Igi, IgiConfig};
-use crate::tools::pathchirp::{Pathchirp, PathchirpConfig};
-use crate::tools::pathload::{Pathload, PathloadConfig};
-use crate::tools::schirp::{Schirp, SchirpConfig};
-use crate::tools::spruce::{Spruce, SpruceConfig};
-use crate::tools::topp::{Topp, ToppConfig};
+use crate::tools::registry::{self, ToolConfig, ToolEntry};
 
 /// Configuration of the shootout.
 #[derive(Debug, Clone)]
@@ -82,6 +78,12 @@ pub struct ShootoutResult {
     pub rows: Vec<ShootoutRow>,
 }
 
+/// The registry tools the shootout compares (everything that estimates
+/// avail-bw; the capacity prober is excluded by design).
+pub fn shootout_tools() -> impl Iterator<Item = &'static ToolEntry> {
+    registry::all().iter().filter(|t| t.name != "capacity")
+}
+
 fn fresh(cross: CrossKind, seed: u64) -> Scenario {
     let mut s = Scenario::single_hop(&SingleHopConfig {
         cross,
@@ -101,123 +103,11 @@ pub fn run(config: &ShootoutConfig) -> ShootoutResult {
 /// across `exec`. Results are aggregated in submission order, so the
 /// table is identical for any worker count.
 pub fn run_with(config: &ShootoutConfig, exec: &Executor) -> ShootoutResult {
-    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64, f64) + Send + Sync>;
-    let quick = config.quick;
-    let tools: Vec<(&'static str, ToolFn)> = vec![
-        (
-            "direct",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = DirectProber::new(DirectConfig {
-                    streams: if quick { 20 } else { 100 },
-                    ..DirectConfig::canonical()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets, e.elapsed_secs)
-            }),
-        ),
-        (
-            "delphi",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Delphi::new(DelphiConfig {
-                    trains: if quick { 15 } else { 40 },
-                    ..DelphiConfig::new(50e6)
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets, e.elapsed_secs)
-            }),
-        ),
-        (
-            "spruce",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Spruce::new(SpruceConfig {
-                    pairs: if quick { 50 } else { 100 },
-                    ..SpruceConfig::new(50e6)
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets, e.elapsed_secs)
-            }),
-        ),
-        (
-            "topp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                r.stream_gap = SimDuration::from_millis(5);
-                let rep = Topp::new(ToppConfig {
-                    step_bps: if quick { 3e6 } else { 1e6 },
-                    streams_per_rate: if quick { 3 } else { 6 },
-                    ..ToppConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (rep.avail_bps, rep.probe_packets, 0.0)
-            }),
-        ),
-        (
-            "pathload",
-            Box::new(move |s| {
-                let rep = Pathload::new(if quick {
-                    PathloadConfig::quick()
-                } else {
-                    PathloadConfig::default()
-                })
-                .run(s);
-                (
-                    (rep.range_bps.0 + rep.range_bps.1) / 2.0,
-                    rep.probe_packets,
-                    rep.elapsed_secs,
-                )
-            }),
-        ),
-        (
-            "pathchirp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Pathchirp::new(PathchirpConfig {
-                    chirps: if quick { 15 } else { 30 },
-                    ..PathchirpConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets, e.elapsed_secs)
-            }),
-        ),
-        (
-            "schirp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Schirp::new(SchirpConfig {
-                    chirps: if quick { 15 } else { 30 },
-                    ..SchirpConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets, e.elapsed_secs)
-            }),
-        ),
-        (
-            "igi",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
-                (rep.igi_bps, rep.probe_packets, 0.0)
-            }),
-        ),
-        (
-            "ptr",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
-                (rep.ptr_bps, rep.probe_packets, 0.0)
-            }),
-        ),
-        (
-            "bfind",
-            Box::new(move |s| {
-                let rep = Bfind::new(BfindConfig::default()).run(s);
-                (rep.avail_bps, rep.probe_packets, 0.0)
-            }),
-        ),
-    ];
+    let tools: Vec<&'static ToolEntry> = shootout_tools().collect();
+    let tool_config = ToolConfig {
+        quick: config.quick,
+        ..ToolConfig::default()
+    };
 
     let truth = 25e6;
     // One job per (tool, seed) cell; each builds its own scenario from
@@ -225,11 +115,20 @@ pub fn run_with(config: &ShootoutConfig, exec: &Executor) -> ShootoutResult {
     let cross = config.cross;
     let jobs: Vec<_> = tools
         .iter()
-        .flat_map(|(_, f)| {
+        .flat_map(|&entry| {
+            let tool_config = tool_config.clone();
             config.seeds.iter().map(move |&seed| {
+                let tool_config = tool_config.clone();
                 move || {
                     let mut s = fresh(cross, seed);
-                    f(&mut s)
+                    let mut tool = entry.build(&tool_config);
+                    let mut session = s.session();
+                    let verdict = session.drive(&mut s.sim, tool.as_mut());
+                    (
+                        verdict.avail_bps(),
+                        verdict.probe_packets(),
+                        verdict.elapsed_secs(),
+                    )
                 }
             })
         })
@@ -243,7 +142,7 @@ pub fn run_with(config: &ShootoutConfig, exec: &Executor) -> ShootoutResult {
     let rows = tools
         .iter()
         .zip(cells.chunks(seeds_per_tool))
-        .map(|((name, _), chunk)| {
+        .map(|(entry, chunk)| {
             let mut estimates = Running::new();
             let mut packets = Running::new();
             let mut latency = Running::new();
@@ -253,7 +152,7 @@ pub fn run_with(config: &ShootoutConfig, exec: &Executor) -> ShootoutResult {
                 latency.push(secs);
             }
             ShootoutRow {
-                tool: name,
+                tool: entry.name,
                 mean_mbps: estimates.mean() / 1e6,
                 bias_mbps: (estimates.mean() - truth) / 1e6,
                 sd_mbps: estimates.stddev() / 1e6,

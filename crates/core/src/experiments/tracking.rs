@@ -1,0 +1,256 @@
+//! Tracking a time-varying avail-bw — the measurement problem the paper
+//! keeps returning to: `A_tau(t)` is a *process*, so a tool is not a
+//! one-shot function but an ongoing dialogue with the path.
+//!
+//! The experiment steps the canonical single hop's avail-bw
+//! 25 → 10 → 40 Mb/s by retuning the CBR cross source **in place**
+//! (no simulator rebuild, no new session): each tool keeps
+//! re-estimating through one long-lived [`Session`](crate::probe::Session),
+//! one fresh
+//! single-shot estimator per round, and the result reports how far each
+//! estimate lagged the step and how large the tracking error was.
+//!
+//! This is exactly what the resumable-estimator refactor buys: the old
+//! blocking `run()` loops owned the simulator for their whole run and
+//! could only ever measure a freshly built, stationary scenario.
+
+use abw_exec::Executor;
+use abw_netsim::SimDuration;
+use abw_stats::running::Running;
+
+use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
+use crate::tools::registry::{self, ToolConfig};
+
+/// Configuration of the tracking experiment.
+#[derive(Debug, Clone)]
+pub struct TrackingConfig {
+    /// Registry names of the tools that track (each gets its own path
+    /// replica so probes never interact).
+    pub tools: Vec<&'static str>,
+    /// The avail-bw steps, bits/s; the cross source is retuned to
+    /// `capacity - step` at each phase boundary.
+    pub steps_bps: Vec<f64>,
+    /// Estimation rounds per phase (fresh estimator per round).
+    pub rounds_per_step: u32,
+    /// An estimate within this fraction of the phase truth counts as
+    /// "in band" for the lag metric.
+    pub in_band_fraction: f64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Use quick tool settings.
+    pub quick: bool,
+}
+
+impl Default for TrackingConfig {
+    fn default() -> Self {
+        TrackingConfig {
+            tools: vec!["delphi", "ptr"],
+            steps_bps: vec![25e6, 10e6, 40e6],
+            rounds_per_step: 4,
+            in_band_fraction: 0.25,
+            seed: 0x77AC,
+            quick: false,
+        }
+    }
+}
+
+impl TrackingConfig {
+    /// Scaled-down configuration for tests.
+    pub fn quick() -> Self {
+        TrackingConfig {
+            rounds_per_step: 3,
+            quick: true,
+            ..TrackingConfig::default()
+        }
+    }
+}
+
+/// One estimate produced while tracking.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackingSample {
+    /// Simulated time the estimate concluded, seconds.
+    pub t_secs: f64,
+    /// The estimate, bits/s.
+    pub estimate_bps: f64,
+    /// The avail-bw the path actually had during this round, bits/s.
+    pub truth_bps: f64,
+}
+
+/// How one tool responded to one avail-bw step.
+#[derive(Debug, Clone, Copy)]
+pub struct StepResponse {
+    /// When the cross source was retuned, seconds.
+    pub t_secs: f64,
+    /// The new avail-bw, bits/s.
+    pub truth_bps: f64,
+    /// Simulated seconds from the step until the first in-band estimate;
+    /// `None` when no estimate of the phase landed in band.
+    pub lag_secs: Option<f64>,
+}
+
+/// One tool's full tracking record.
+#[derive(Debug, Clone)]
+pub struct ToolTrack {
+    /// Registry name.
+    pub tool: &'static str,
+    /// Every estimate, in time order.
+    pub samples: Vec<TrackingSample>,
+    /// Per-step lag.
+    pub steps: Vec<StepResponse>,
+    /// Mean absolute tracking error across all samples, Mb/s.
+    pub mean_abs_error_mbps: f64,
+}
+
+/// The tracking result: one track per tool.
+#[derive(Debug, Clone)]
+pub struct TrackingResult {
+    /// One record per configured tool, in configuration order.
+    pub tracks: Vec<ToolTrack>,
+}
+
+/// Runs the experiment with the executor configured from `ABW_JOBS`.
+pub fn run(config: &TrackingConfig) -> TrackingResult {
+    run_with(config, &Executor::from_env())
+}
+
+/// Runs the experiment, fanning the independent per-tool tracks across
+/// `exec` (results are collected in submission order).
+pub fn run_with(config: &TrackingConfig, exec: &Executor) -> TrackingResult {
+    let jobs: Vec<_> = config
+        .tools
+        .iter()
+        .map(|&name| {
+            let config = config.clone();
+            move || track_one(name, &config)
+        })
+        .collect();
+    TrackingResult {
+        tracks: exec.run(jobs),
+    }
+}
+
+/// One tool re-estimating across every step on its own path replica.
+fn track_one(name: &'static str, config: &TrackingConfig) -> ToolTrack {
+    let entry = registry::find(name).unwrap_or_else(|| panic!("`{name}` is not a registered tool"));
+    let tool_config = ToolConfig {
+        quick: config.quick,
+        ..ToolConfig::default()
+    };
+
+    let mut s = Scenario::single_hop(&SingleHopConfig {
+        cross: CrossKind::Cbr,
+        seed: config.seed,
+        ..SingleHopConfig::default()
+    });
+    let capacity = s.hops[0].capacity_bps;
+    s.warm_up(SimDuration::from_millis(500));
+
+    // ONE session for the whole track: the simulator, the probing
+    // endpoints and the cross source all survive every re-estimation.
+    let mut session = s.session();
+    let mut samples = Vec::new();
+    let mut steps = Vec::new();
+    let mut errors = Running::new();
+
+    for &truth in &config.steps_bps {
+        let retuned = s.set_cross_rate(0, (capacity - truth).max(0.0));
+        assert!(retuned, "hop 0 must carry a retunable cross source");
+        let step_at = s.sim.now().as_secs_f64();
+        let mut lag = None;
+
+        for _ in 0..config.rounds_per_step {
+            // fresh single-shot estimator, same live session
+            let mut tool = entry.build(&tool_config);
+            let verdict = session.drive(&mut s.sim, tool.as_mut());
+            let t = s.sim.now().as_secs_f64();
+            let estimate = verdict.avail_bps();
+            errors.push((estimate - truth).abs() / 1e6);
+            if lag.is_none() && (estimate - truth).abs() <= config.in_band_fraction * truth {
+                lag = Some(t - step_at);
+            }
+            samples.push(TrackingSample {
+                t_secs: t,
+                estimate_bps: estimate,
+                truth_bps: truth,
+            });
+        }
+        steps.push(StepResponse {
+            t_secs: step_at,
+            truth_bps: truth,
+            lag_secs: lag,
+        });
+    }
+
+    ToolTrack {
+        tool: entry.name,
+        samples,
+        steps,
+        mean_abs_error_mbps: errors.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tools_reestimate_across_steps_without_rebuilding() {
+        let config = TrackingConfig::quick();
+        let r = run(&config);
+        assert_eq!(r.tracks.len(), 2);
+        for track in &r.tracks {
+            assert_eq!(
+                track.samples.len(),
+                config.steps_bps.len() * config.rounds_per_step as usize,
+                "{}: every round must produce an estimate",
+                track.tool
+            );
+            // time strictly advances: all rounds ran in one simulation
+            for w in track.samples.windows(2) {
+                assert!(w[1].t_secs > w[0].t_secs, "{}: time stalled", track.tool);
+            }
+            // each phase's final estimate tracks the new truth
+            for (i, &truth) in config.steps_bps.iter().enumerate() {
+                let last = &track.samples[(i + 1) * config.rounds_per_step as usize - 1];
+                assert!(
+                    (last.estimate_bps - truth).abs() / truth < 0.5,
+                    "{}: phase {i} settled at {:.1} Mb/s vs truth {:.1} Mb/s",
+                    track.tool,
+                    last.estimate_bps / 1e6,
+                    truth / 1e6
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lag_is_finite_once_settled() {
+        let r = run(&TrackingConfig::quick());
+        // at least one tool must land in band on every step
+        for (i, _) in TrackingConfig::quick().steps_bps.iter().enumerate() {
+            assert!(
+                r.tracks.iter().any(|t| t.steps[i].lag_secs.is_some()),
+                "no tool ever tracked step {i}"
+            );
+        }
+        for track in &r.tracks {
+            assert!(
+                track.mean_abs_error_mbps < 15.0,
+                "{}: mean error {:.1} Mb/s",
+                track.tool,
+                track.mean_abs_error_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tool_panics() {
+        let result = std::panic::catch_unwind(|| {
+            run(&TrackingConfig {
+                tools: vec!["no-such-tool"],
+                ..TrackingConfig::quick()
+            })
+        });
+        assert!(result.is_err());
+    }
+}

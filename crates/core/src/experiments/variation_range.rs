@@ -13,8 +13,9 @@ use abw_netsim::{LinkConfig, SimDuration, Simulator};
 use abw_stats::ecdf::Ecdf;
 use abw_trace::{spawn_trace_sources, AvailBw, SyntheticTrace, SyntheticTraceConfig};
 
-use crate::probe::{ProbeReceiver, ProbeRunner, ProbeSender};
+use crate::probe::{ProbeReceiver, ProbeRunner, ProbeSender, Session};
 use crate::tools::pathload::{Pathload, PathloadConfig};
+use crate::tools::Verdict;
 
 /// Configuration of the Figure 6 experiment.
 #[derive(Debug, Clone)]
@@ -116,7 +117,11 @@ pub fn run(config: &VariationRangeConfig) -> VariationRangeResult {
     )));
     sim.run_for(config.trace.warmup);
     let mut runner = ProbeRunner::new(sender, receiver);
-    let report = Pathload::new(config.pathload.clone()).run_with(&mut sim, &mut runner);
+    let mut tool = Pathload::new(config.pathload.clone()).estimator();
+    let report = match Session::over(&mut runner).drive(&mut sim, &mut tool) {
+        Verdict::Pathload(r) => r,
+        _ => unreachable!("Pathload yields a Pathload report"),
+    };
 
     // keep the ground truth honest: the probed link's actual mean
     let live = AvailBw::from_link(

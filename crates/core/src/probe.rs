@@ -11,11 +11,14 @@
 use std::collections::BTreeMap;
 
 use abw_netsim::{
-    packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration, SimTime,
-    Simulator,
+    gap_for_rate, packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration,
+    SimTime, Simulator,
 };
 
 use crate::stream::StreamSpec;
+use crate::tools::{
+    Action, Estimator, LoadRampSample, LoadRampSpec, Observation, ProbeSpec, Verdict,
+};
 
 /// Token that fires the launch of a pending stream.
 const TOKEN_LAUNCH: u64 = u64::MAX;
@@ -287,6 +290,337 @@ impl ProbeRunner {
             spec: spec.clone(),
             stream_id: id,
             records,
+        }
+    }
+}
+
+/// The probe runner a [`Session`] drives: its own, or one borrowed from
+/// the caller (so compatibility wrappers can drive a caller-owned
+/// runner without disturbing its stream-id sequence).
+enum RunnerSlot<'r> {
+    /// The session owns the runner.
+    Owned(ProbeRunner),
+    /// The session borrows the caller's runner.
+    Borrowed(&'r mut ProbeRunner),
+}
+
+impl RunnerSlot<'_> {
+    fn get(&mut self) -> &mut ProbeRunner {
+        match self {
+            RunnerSlot::Owned(r) => r,
+            RunnerSlot::Borrowed(r) => r,
+        }
+    }
+}
+
+/// Routing facts a session needs for probing primitives that bypass the
+/// [`ProbeRunner`] (BFind's load ramp installs its own agent on the
+/// probed path).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionRoute {
+    pub(crate) path: PathId,
+    pub(crate) hops: usize,
+    pub(crate) dst: AgentId,
+}
+
+/// The generic session driver: owns **all** simulator interaction on
+/// behalf of an [`Estimator`].
+///
+/// [`Session::step`] executes exactly one tool action — materialise a
+/// probing stream (or load-ramp epoch), advance the simulation until it
+/// drains, and feed the [`Observation`] back on the next call — so
+/// multiple sessions can interleave in one simulation and a session can
+/// keep re-estimating against time-varying cross traffic (the
+/// `tracking` experiment). [`Session::drive`] loops `step` to
+/// completion, which is what the compatibility `run()` wrappers use.
+pub struct Session<'r> {
+    runner: RunnerSlot<'r>,
+    route: Option<SessionRoute>,
+    load_agent: Option<AgentId>,
+    /// When the current estimation round started (set lazily by the
+    /// first `step`, cleared on `Done` so the next round re-stamps).
+    round_start: Option<SimTime>,
+    last: Option<Observation>,
+}
+
+impl<'r> Session<'r> {
+    /// A session borrowing the caller's runner — the compatibility path
+    /// for tools that historically took `(&mut Simulator, &mut
+    /// ProbeRunner)`.
+    pub fn over(runner: &'r mut ProbeRunner) -> Session<'r> {
+        Session {
+            runner: RunnerSlot::Borrowed(runner),
+            route: None,
+            load_agent: None,
+            round_start: None,
+            last: None,
+        }
+    }
+
+    /// A session owning its runner.
+    pub fn new(runner: ProbeRunner) -> Session<'static> {
+        Session {
+            runner: RunnerSlot::Owned(runner),
+            route: None,
+            load_agent: None,
+            round_start: None,
+            last: None,
+        }
+    }
+
+    /// A routed session: like [`Session::new`] but able to execute
+    /// [`ProbeSpec::LoadRamp`] actions on the given path.
+    pub(crate) fn with_route(
+        runner: ProbeRunner,
+        path: PathId,
+        hops: usize,
+        dst: AgentId,
+    ) -> Session<'static> {
+        Session {
+            runner: RunnerSlot::Owned(runner),
+            route: Some(SessionRoute { path, hops, dst }),
+            load_agent: None,
+            round_start: None,
+            last: None,
+        }
+    }
+
+    /// The session's probe runner (e.g. to adjust `stream_gap`).
+    pub fn runner_mut(&mut self) -> &mut ProbeRunner {
+        self.runner.get()
+    }
+
+    /// Executes one estimator action: asks `tool` for its next move
+    /// (feeding back the last observation), emits any trace events the
+    /// decision buffered, and either runs the requested probing action
+    /// or returns the final verdict (stamped with the round's elapsed
+    /// simulated time).
+    pub fn step(&mut self, sim: &mut Simulator, tool: &mut dyn Estimator) -> Option<Verdict> {
+        let started = *self.round_start.get_or_insert(sim.now());
+        let action = tool.next(self.last.take().as_ref());
+        for ev in tool.take_events() {
+            sim.emit(ev.kind, &ev.fields);
+        }
+        match action {
+            Action::Send(spec) => {
+                self.last = Some(self.execute(sim, spec));
+                None
+            }
+            Action::Done(mut verdict) => {
+                verdict.set_elapsed(sim.now().since(started).as_secs_f64());
+                self.round_start = None;
+                self.pause_load(sim);
+                Some(verdict)
+            }
+        }
+    }
+
+    /// Drives `tool` to completion and returns its verdict.
+    pub fn drive(&mut self, sim: &mut Simulator, tool: &mut dyn Estimator) -> Verdict {
+        loop {
+            if let Some(verdict) = self.step(sim, tool) {
+                return verdict;
+            }
+        }
+    }
+
+    fn execute(&mut self, sim: &mut Simulator, spec: ProbeSpec) -> Observation {
+        match spec {
+            ProbeSpec::Stream { spec, pre_gap } => {
+                let runner = self.runner.get();
+                match pre_gap {
+                    Some(gap) => {
+                        let saved = runner.stream_gap;
+                        runner.stream_gap = gap;
+                        let r = runner.run_stream(sim, &spec);
+                        runner.stream_gap = saved;
+                        Observation::Stream(r)
+                    }
+                    None => Observation::Stream(runner.run_stream(sim, &spec)),
+                }
+            }
+            ProbeSpec::LoadRamp(ramp) => self.execute_load_ramp(sim, &ramp),
+        }
+    }
+
+    fn execute_load_ramp(&mut self, sim: &mut Simulator, ramp: &LoadRampSpec) -> Observation {
+        let route = self
+            .route
+            .expect("load-ramp probing needs a routed session (Scenario::session)");
+        let agent = match self.load_agent {
+            Some(id) => {
+                let a = sim.agent_mut::<LoadProbeAgent>(id);
+                if !a.running {
+                    a.running = true;
+                    sim.schedule_timer(id, sim.now(), TOKEN_LOAD);
+                    sim.schedule_timer(id, sim.now(), TOKEN_TRACE);
+                }
+                id
+            }
+            None => {
+                // non-rate parameters (packet sizes, trace cadence) are
+                // fixed by the first epoch's spec for the agent's lifetime
+                let id = sim.add_agent(Box::new(LoadProbeAgent::new(
+                    route.path, route.hops, route.dst, ramp,
+                )));
+                sim.agent_mut::<LoadProbeAgent>(id).running = true;
+                sim.schedule_timer(id, sim.now(), TOKEN_LOAD);
+                sim.schedule_timer(id, sim.now(), TOKEN_TRACE);
+                self.load_agent = Some(id);
+                id
+            }
+        };
+        sim.agent_mut::<LoadProbeAgent>(agent).load_rate_bps = ramp.rate_bps;
+        sim.run_for(ramp.epoch);
+        let a = sim.agent_mut::<LoadProbeAgent>(agent);
+        Observation::LoadRamp(LoadRampSample {
+            hop_rtts: a.drain(),
+            probe_packets: a.packets,
+        })
+    }
+
+    /// Quiesces the load-ramp agent (if any) so a finished round stops
+    /// injecting traffic while the session stays reusable.
+    fn pause_load(&mut self, sim: &mut Simulator) {
+        if let Some(id) = self.load_agent {
+            let a = sim.agent_mut::<LoadProbeAgent>(id);
+            a.running = false;
+            a.load_rate_bps = 0.0;
+        }
+    }
+}
+
+/// Token for the load-stream timer of [`LoadProbeAgent`].
+const TOKEN_LOAD: u64 = 1;
+/// Token for the traceroute-round timer of [`LoadProbeAgent`].
+const TOKEN_TRACE: u64 = 2;
+
+/// The load-ramp probing agent (BFind's primitive): a rate-adjustable
+/// UDP load stream plus periodic TTL-limited traceroute rounds, with
+/// per-hop RTT collection.
+struct LoadProbeAgent {
+    path: PathId,
+    hops: usize,
+    dst: AgentId,
+    load_rate_bps: f64,
+    load_size: u32,
+    probe_size: u32,
+    trace_interval: SimDuration,
+    load_seq: u64,
+    trace_seq: u64,
+    /// RTTs collected since the last drain, per hop.
+    rtt_samples: Vec<Vec<f64>>,
+    packets: u64,
+    running: bool,
+}
+
+impl LoadProbeAgent {
+    fn new(path: PathId, hops: usize, dst: AgentId, spec: &LoadRampSpec) -> Self {
+        LoadProbeAgent {
+            path,
+            hops,
+            dst,
+            load_rate_bps: 0.0,
+            load_size: spec.load_packet_size,
+            probe_size: spec.probe_size,
+            trace_interval: spec.trace_interval,
+            load_seq: 0,
+            trace_seq: 0,
+            rtt_samples: vec![Vec::new(); hops],
+            packets: 0,
+            running: false,
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Vec<f64>> {
+        std::mem::replace(&mut self.rtt_samples, vec![Vec::new(); self.hops])
+    }
+}
+
+impl Agent for LoadProbeAgent {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            TOKEN_LOAD => {
+                if !self.running {
+                    return;
+                }
+                if self.load_rate_bps > 0.0 {
+                    let p = packet_to(
+                        self.dst,
+                        self.path,
+                        FlowId(u32::MAX - 1),
+                        self.load_size,
+                        self.load_seq,
+                        PacketKind::Data,
+                    );
+                    ctx.send(p);
+                    self.load_seq += 1;
+                    self.packets += 1;
+                    ctx.schedule_in(gap_for_rate(self.load_size, self.load_rate_bps), TOKEN_LOAD);
+                } else {
+                    // idle baseline: poll for a rate change
+                    ctx.schedule_in(SimDuration::from_millis(10), TOKEN_LOAD);
+                }
+            }
+            TOKEN_TRACE => {
+                if !self.running {
+                    return;
+                }
+                // One probe per link. A probe measuring link k must cross
+                // link k's queue, so it expires at the NEXT router
+                // (ttl = k + 2); the reply attributes to link k. The last
+                // link has no router behind it, so its probe travels the
+                // full path addressed back to this agent (an echo whose
+                // one-way delay includes the last queue; the baseline
+                // difference cancels the missing reverse delay).
+                for hop in 0..self.hops {
+                    let mut p = packet_to(
+                        self.dst,
+                        self.path,
+                        FlowId(u32::MAX - 2),
+                        self.probe_size,
+                        self.trace_seq,
+                        PacketKind::Data,
+                    );
+                    if hop + 1 < self.hops {
+                        p.ttl = hop as u8 + 2;
+                    } else {
+                        p.dst = ctx.self_id();
+                    }
+                    ctx.send(p);
+                    self.trace_seq += 1;
+                    self.packets += 1;
+                }
+                ctx.schedule_in(self.trace_interval, TOKEN_TRACE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
+        match packet.kind {
+            PacketKind::TtlExceeded {
+                router,
+                orig_sent_at,
+                ..
+            } => {
+                // expired at router `router` ⇒ crossed the queue of link
+                // `router - 1`
+                let rtt = ctx.now().since(orig_sent_at).as_secs_f64();
+                let link = (router as usize).saturating_sub(1);
+                if let Some(bucket) = self.rtt_samples.get_mut(link) {
+                    bucket.push(rtt);
+                }
+            }
+            PacketKind::Data => {
+                // the self-addressed full-path echo: attribute to the
+                // last link
+                let owd = ctx.now().since(packet.sent_at).as_secs_f64();
+                if let Some(bucket) = self.rtt_samples.last_mut() {
+                    bucket.push(owd);
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -15,7 +15,7 @@ use abw_traffic::{
     ArrivalProcess, Cbr, ParetoInterarrival, ParetoOnOff, PoissonProcess, SizeDist, SourceAgent,
 };
 
-use crate::probe::{ProbeReceiver, ProbeRunner, ProbeSender};
+use crate::probe::{ProbeReceiver, ProbeRunner, ProbeSender, Session};
 
 /// Cross-traffic model on a link (Figure 3's three models plus the
 /// Pareto-interarrival UDP traffic of Figure 7).
@@ -116,6 +116,9 @@ pub struct Scenario {
     pub receiver: AgentId,
     /// When the warm-up ended (ground-truth horizons start here).
     pub measure_from: SimTime,
+    /// Cross-traffic source of each hop (`None` for idle hops), in path
+    /// order — lets experiments retune cross rates mid-simulation.
+    cross_sources: Vec<Option<AgentId>>,
 }
 
 impl Scenario {
@@ -142,20 +145,23 @@ impl Scenario {
 
         // one-hop persistent cross traffic: a dedicated single-link path
         // and sink per hop
+        let mut cross_sources = Vec::with_capacity(hops.len());
         for (i, hop) in hops.iter().enumerate() {
             if hop.cross_rate_bps <= 0.0 {
+                cross_sources.push(None);
                 continue;
             }
             let cross_path = sim.add_path(vec![links[i]]);
             let cross_sink = sim.add_agent(Box::new(CountingSink::new()));
             let hop_seed = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
             let process = make_process(hop, hop_seed);
-            sim.add_agent(Box::new(SourceAgent::new(
+            let source = sim.add_agent(Box::new(SourceAgent::new(
                 process,
                 cross_path,
                 cross_sink,
                 FlowId(i as u32),
             )));
+            cross_sources.push(Some(source));
         }
 
         Scenario {
@@ -166,6 +172,7 @@ impl Scenario {
             sender,
             receiver,
             measure_from: SimTime::ZERO,
+            cross_sources,
         }
     }
 
@@ -227,6 +234,34 @@ impl Scenario {
     /// A probing runner wired to this scenario's endpoints.
     pub fn runner(&self) -> ProbeRunner {
         ProbeRunner::new(self.sender, self.receiver)
+    }
+
+    /// A routed [`Session`] over this scenario's endpoints: the driver
+    /// for any [`crate::tools::Estimator`], including ones that need
+    /// load-ramp probing (BFind).
+    pub fn session(&self) -> Session<'static> {
+        Session::with_route(
+            self.runner(),
+            self.probe_path,
+            self.links.len(),
+            self.receiver,
+        )
+    }
+
+    /// Retunes the mean cross-traffic rate of `hop` mid-simulation
+    /// (tracking experiments step the avail-bw this way without
+    /// rebuilding the simulator). Returns `false` when the hop has no
+    /// cross source (it was built idle) or its arrival process does not
+    /// support retuning; the configured rate is updated only on success.
+    pub fn set_cross_rate(&mut self, hop: usize, rate_bps: f64) -> bool {
+        let Some(Some(id)) = self.cross_sources.get(hop).copied() else {
+            return false;
+        };
+        let changed = self.sim.agent_mut::<SourceAgent>(id).set_rate_bps(rate_bps);
+        if changed {
+            self.hops[hop].cross_rate_bps = rate_bps;
+        }
+        changed
     }
 
     /// Configured end-to-end avail-bw: `min` over hops (Equation 3).

@@ -7,18 +7,15 @@
 //! both the avail-bw (the rate at which inflation started) and which hop
 //! is the tight link.
 //!
-//! In the simulator, routers sit at link inputs and answer TTL expiry
-//! with ICMP time-exceeded over an uncongested reverse path
-//! (`abw-netsim`), so per-hop RTTs reflect exactly the forward queueing
-//! the probe experienced.
+//! The load/traceroute machinery lives in the session driver (the
+//! [`crate::tools::ProbeSpec::LoadRamp`] probe kind); this module is only
+//! the decision logic: hold each rate for an epoch, compare per-hop
+//! median RTTs against the no-load baseline, stop at the first inflation.
 
-use abw_netsim::{
-    gap_for_rate, packet_to, Agent, AgentId, Ctx, FlowId, Packet, PacketKind, PathId, SimDuration,
-    Simulator,
-};
+use abw_netsim::SimDuration;
 use abw_stats::trend::median;
 
-use crate::scenario::Scenario;
+use crate::tools::{Action, Estimator, LoadRampSpec, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// BFind configuration.
 #[derive(Debug, Clone)]
@@ -80,139 +77,6 @@ pub struct BfindReport {
     pub probe_packets: u64,
 }
 
-const TOKEN_LOAD: u64 = 1;
-const TOKEN_TRACE: u64 = 2;
-
-/// The probing agent: a rate-adjustable load stream plus periodic
-/// TTL-limited traceroute rounds, with per-hop RTT collection.
-struct BfindAgent {
-    path: PathId,
-    hops: usize,
-    dst: AgentId,
-    load_rate_bps: f64,
-    load_size: u32,
-    probe_size: u32,
-    trace_interval: SimDuration,
-    load_seq: u64,
-    trace_seq: u64,
-    /// In-flight traceroute probes: seq → hop probed.
-    /// RTTs collected since the last drain, per hop.
-    rtt_samples: Vec<Vec<f64>>,
-    packets: u64,
-    running: bool,
-}
-
-impl BfindAgent {
-    fn new(path: PathId, hops: usize, dst: AgentId, config: &BfindConfig) -> Self {
-        BfindAgent {
-            path,
-            hops,
-            dst,
-            load_rate_bps: 0.0,
-            load_size: config.load_packet_size,
-            probe_size: config.probe_size,
-            trace_interval: config.trace_interval,
-            load_seq: 0,
-            trace_seq: 0,
-            rtt_samples: vec![Vec::new(); hops],
-            packets: 0,
-            running: false,
-        }
-    }
-
-    fn drain(&mut self) -> Vec<Vec<f64>> {
-        std::mem::replace(&mut self.rtt_samples, vec![Vec::new(); self.hops])
-    }
-}
-
-impl Agent for BfindAgent {
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        match token {
-            TOKEN_LOAD => {
-                if !self.running {
-                    return;
-                }
-                if self.load_rate_bps > 0.0 {
-                    let p = packet_to(
-                        self.dst,
-                        self.path,
-                        FlowId(u32::MAX - 1),
-                        self.load_size,
-                        self.load_seq,
-                        PacketKind::Data,
-                    );
-                    ctx.send(p);
-                    self.load_seq += 1;
-                    self.packets += 1;
-                    ctx.schedule_in(gap_for_rate(self.load_size, self.load_rate_bps), TOKEN_LOAD);
-                } else {
-                    // idle baseline: poll for a rate change
-                    ctx.schedule_in(SimDuration::from_millis(10), TOKEN_LOAD);
-                }
-            }
-            TOKEN_TRACE => {
-                if !self.running {
-                    return;
-                }
-                // One probe per link. A probe measuring link k must cross
-                // link k's queue, so it expires at the NEXT router
-                // (ttl = k + 2); the reply attributes to link k. The last
-                // link has no router behind it, so its probe travels the
-                // full path addressed back to this agent (an echo whose
-                // one-way delay includes the last queue; the baseline
-                // difference cancels the missing reverse delay).
-                for hop in 0..self.hops {
-                    let mut p = packet_to(
-                        self.dst,
-                        self.path,
-                        FlowId(u32::MAX - 2),
-                        self.probe_size,
-                        self.trace_seq,
-                        PacketKind::Data,
-                    );
-                    if hop + 1 < self.hops {
-                        p.ttl = hop as u8 + 2;
-                    } else {
-                        p.dst = ctx.self_id();
-                    }
-                    ctx.send(p);
-                    self.trace_seq += 1;
-                    self.packets += 1;
-                }
-                ctx.schedule_in(self.trace_interval, TOKEN_TRACE);
-            }
-            _ => {}
-        }
-    }
-
-    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: Packet) {
-        match packet.kind {
-            PacketKind::TtlExceeded {
-                router,
-                orig_sent_at,
-                ..
-            } => {
-                // expired at router `router` ⇒ crossed the queue of link
-                // `router - 1`
-                let rtt = ctx.now().since(orig_sent_at).as_secs_f64();
-                let link = (router as usize).saturating_sub(1);
-                if let Some(bucket) = self.rtt_samples.get_mut(link) {
-                    bucket.push(rtt);
-                }
-            }
-            PacketKind::Data => {
-                // the self-addressed full-path echo: attribute to the
-                // last link
-                let owd = ctx.now().since(packet.sent_at).as_secs_f64();
-                if let Some(bucket) = self.rtt_samples.last_mut() {
-                    bucket.push(owd);
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
 /// The BFind estimator.
 #[derive(Debug, Clone)]
 pub struct Bfind {
@@ -227,99 +91,120 @@ impl Bfind {
         Bfind { config }
     }
 
-    /// Runs BFind against a scenario (it installs its own agent; the
-    /// scenario's probing endpoints are not used).
-    pub fn run(&self, scenario: &mut Scenario) -> BfindReport {
-        let hops = scenario.links.len();
-        let path = scenario.probe_path;
-        let dst = scenario.receiver;
-        let agent = BfindAgent::new(path, hops, dst, &self.config);
-        let id = scenario.sim.add_agent(Box::new(agent));
-        self.run_with(&mut scenario.sim, id, hops)
+    /// The resumable state machine for one estimation round. Requires a
+    /// *routed* session ([`crate::scenario::Scenario::session`]) because
+    /// the load ramp installs its own probing agent.
+    pub fn estimator(&self) -> BfindEstimator {
+        BfindEstimator {
+            config: self.config.clone(),
+            baseline: None,
+            rate: 0.0,
+            epochs: Vec::new(),
+            packets: 0,
+            result: None,
+            events: Vec::new(),
+        }
     }
 
-    fn run_with(&self, sim: &mut Simulator, agent: AgentId, _hops: usize) -> BfindReport {
-        // start the agent's timer loops
-        {
-            let a = sim.agent_mut::<BfindAgent>(agent);
-            a.running = true;
-        }
-        sim.schedule_timer(agent, sim.now(), TOKEN_LOAD);
-        sim.schedule_timer(agent, sim.now(), TOKEN_TRACE);
+    fn ramp(&self, rate_bps: f64) -> ProbeSpec {
+        ProbeSpec::LoadRamp(LoadRampSpec {
+            rate_bps,
+            epoch: self.config.epoch,
+            trace_interval: self.config.trace_interval,
+            load_packet_size: self.config.load_packet_size,
+            probe_size: self.config.probe_size,
+        })
+    }
+}
 
-        // baseline epoch with no load
-        sim.run_for(self.config.epoch);
-        let baseline: Vec<f64> = sim
-            .agent_mut::<BfindAgent>(agent)
-            .drain()
-            .into_iter()
-            .map(|v| median(&v))
-            .collect();
+/// BFind as a decision state machine: a zero-rate baseline epoch, then a
+/// linear load ramp until some hop's median RTT inflates past the
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct BfindEstimator {
+    config: BfindConfig,
+    /// Per-hop median RTTs of the no-load epoch; `None` until observed.
+    baseline: Option<Vec<f64>>,
+    /// Load rate of the epoch in flight.
+    rate: f64,
+    epochs: Vec<BfindEpoch>,
+    packets: u64,
+    /// `(avail, tight_hop)` once some hop flagged.
+    result: Option<(f64, usize)>,
+    events: Vec<ToolEvent>,
+}
 
-        let mut epochs = Vec::new();
-        let mut rate = self.config.start_rate_bps;
-        let mut result: Option<(f64, usize)> = None;
-        while rate <= self.config.max_rate_bps {
-            sim.agent_mut::<BfindAgent>(agent).load_rate_bps = rate;
-            sim.run_for(self.config.epoch);
-            let rtts: Vec<f64> = sim
-                .agent_mut::<BfindAgent>(agent)
-                .drain()
-                .into_iter()
-                .map(|v| median(&v))
-                .collect();
-            epochs.push(BfindEpoch {
-                rate_bps: rate,
-                hop_rtts: rtts.clone(),
-            });
-            // a queue at link k inflates the probes of links k, k+1, ...;
-            // the tight link is the FIRST link whose probe inflated
-            let mut flagged: Option<usize> = None;
-            for (hop, (&rtt, &base)) in rtts.iter().zip(&baseline).enumerate() {
-                if rtt.is_nan() || base.is_nan() {
-                    continue;
-                }
-                if rtt - base > self.config.rtt_threshold {
-                    flagged = Some(hop);
-                    break;
-                }
+impl Estimator for BfindEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        let tool = Bfind {
+            config: self.config.clone(),
+        };
+        let Some(obs) = last else {
+            // baseline epoch with no load
+            return Action::Send(tool.ramp(0.0));
+        };
+        let sample = obs.load_ramp().expect("BFind sends load ramps");
+        let rtts: Vec<f64> = sample.hop_rtts.iter().map(|v| median(v)).collect();
+        self.packets = sample.probe_packets;
+
+        let Some(baseline) = &self.baseline else {
+            self.baseline = Some(rtts);
+            self.rate = self.config.start_rate_bps;
+            return Action::Send(tool.ramp(self.rate));
+        };
+
+        self.epochs.push(BfindEpoch {
+            rate_bps: self.rate,
+            hop_rtts: rtts.clone(),
+        });
+        // a queue at link k inflates the probes of links k, k+1, ...;
+        // the tight link is the FIRST link whose probe inflated
+        let mut flagged: Option<usize> = None;
+        for (hop, (&rtt, &base)) in rtts.iter().zip(baseline).enumerate() {
+            if rtt.is_nan() || base.is_nan() {
+                continue;
             }
-            sim.emit(
-                "bfind.epoch",
-                &[
-                    ("iter", (epochs.len() - 1).into()),
-                    ("rate_bps", rate.into()),
-                    ("flagged_hop", flagged.map_or(-1i64, |h| h as i64).into()),
-                ],
-            );
-            if let Some(hop) = flagged {
-                result = Some((rate - self.config.rate_step_bps, hop));
+            if rtt - base > self.config.rtt_threshold {
+                flagged = Some(hop);
                 break;
             }
-            rate += self.config.rate_step_bps;
+        }
+        self.events.push(ToolEvent::new(
+            "bfind.epoch",
+            vec![
+                ("iter", (self.epochs.len() - 1).into()),
+                ("rate_bps", self.rate.into()),
+                ("flagged_hop", flagged.map_or(-1i64, |h| h as i64).into()),
+            ],
+        ));
+        if let Some(hop) = flagged {
+            self.result = Some((self.rate - self.config.rate_step_bps, hop));
+        } else {
+            self.rate += self.config.rate_step_bps;
+            if self.rate <= self.config.max_rate_bps {
+                return Action::Send(tool.ramp(self.rate));
+            }
         }
 
-        // stop the agent
-        {
-            let a = sim.agent_mut::<BfindAgent>(agent);
-            a.running = false;
-            a.load_rate_bps = 0.0;
-        }
-        let packets = sim.agent::<BfindAgent>(agent).packets;
-        match result {
+        let report = match self.result {
             Some((avail, hop)) => BfindReport {
                 avail_bps: avail.max(self.config.start_rate_bps),
                 tight_hop: Some(hop),
-                epochs,
-                probe_packets: packets,
+                epochs: std::mem::take(&mut self.epochs),
+                probe_packets: self.packets,
             },
             None => BfindReport {
                 avail_bps: self.config.max_rate_bps,
                 tight_hop: None,
-                epochs,
-                probe_packets: packets,
+                epochs: std::mem::take(&mut self.epochs),
+                probe_packets: self.packets,
             },
-        }
+        };
+        Action::Done(Verdict::Bfind(report))
+    }
+
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

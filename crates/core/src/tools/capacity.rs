@@ -8,15 +8,15 @@
 //! narrow link is exactly Pitfall 5, demonstrated by the `exp_capacity`
 //! experiment.
 
-use abw_netsim::{SimDuration, Simulator};
+use abw_netsim::SimDuration;
 use abw_stats::histogram::Histogram;
 use abw_stats::running::Running;
 use abw_stats::sampling::exp_variate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::probe::ProbeRunner;
 use crate::stream::StreamSpec;
+use crate::tools::{Action, Estimator, Observation, ProbeSpec, Verdict};
 
 /// Capacity-probe configuration.
 #[derive(Debug, Clone)]
@@ -75,36 +75,63 @@ impl CapacityProber {
         CapacityProber { config }
     }
 
-    /// Sends the pairs and returns the histogram-mode estimate.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> CapacityReport {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let spec = StreamSpec::Pair {
-            rate_bps: self.config.pair_rate_bps,
-            size: self.config.packet_size,
-        };
-        let mut estimates = Vec::new();
-        let saved_gap = runner.stream_gap;
-        for _ in 0..self.config.pairs {
-            runner.stream_gap = SimDuration::from_secs_f64(exp_variate(
-                &mut rng,
-                self.config.mean_pair_gap.as_secs_f64(),
-            ));
-            let r = runner.run_stream(sim, &spec);
-            if let Some(&(_, g_out)) = r.pair_gaps().first() {
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> CapacityEstimator {
+        CapacityEstimator {
+            config: self.config.clone(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            spec: StreamSpec::Pair {
+                rate_bps: self.config.pair_rate_bps,
+                size: self.config.packet_size,
+            },
+            sent: 0,
+            estimates: Vec::new(),
+        }
+    }
+}
+
+/// The capacity probe as a decision state machine: exponentially spaced
+/// back-to-back pairs, then a histogram-mode search over the per-pair
+/// dispersion estimates.
+#[derive(Debug, Clone)]
+pub struct CapacityEstimator {
+    config: CapacityConfig,
+    rng: StdRng,
+    spec: StreamSpec,
+    sent: u32,
+    estimates: Vec<f64>,
+}
+
+impl Estimator for CapacityEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("capacity probing sends pairs");
+            if let Some(&(_, g_out)) = result.pair_gaps().first() {
                 if g_out > 0.0 {
-                    estimates.push(self.config.packet_size as f64 * 8.0 / g_out);
+                    self.estimates
+                        .push(self.config.packet_size as f64 * 8.0 / g_out);
                 }
             }
         }
-        runner.stream_gap = saved_gap;
-
-        let running = Running::from_samples(&estimates);
-        let capacity = mode_of(&estimates, self.config.bins).unwrap_or(running.mean());
-        CapacityReport {
-            capacity_bps: capacity,
-            samples: running.summary(),
-            usable_pairs: estimates.len() as u32,
-            probe_packets: self.config.pairs as u64 * 2,
+        if self.sent < self.config.pairs {
+            self.sent += 1;
+            let gap = SimDuration::from_secs_f64(exp_variate(
+                &mut self.rng,
+                self.config.mean_pair_gap.as_secs_f64(),
+            ));
+            Action::Send(ProbeSpec::Stream {
+                spec: self.spec.clone(),
+                pre_gap: Some(gap),
+            })
+        } else {
+            let running = Running::from_samples(&self.estimates);
+            let capacity = mode_of(&self.estimates, self.config.bins).unwrap_or(running.mean());
+            Action::Done(Verdict::Capacity(CapacityReport {
+                capacity_bps: capacity,
+                samples: running.summary(),
+                usable_pairs: self.estimates.len() as u32,
+                probe_packets: self.config.pairs as u64 * 2,
+            }))
         }
     }
 }

@@ -16,13 +16,11 @@
 
 #[cfg(test)]
 use abw_netsim::SimDuration;
-use abw_netsim::Simulator;
 use abw_stats::running::Running;
 
 use crate::fluid::direct_probing_estimate;
-use crate::probe::ProbeRunner;
 use crate::stream::StreamSpec;
-use crate::tools::Estimate;
+use crate::tools::{Action, Estimate, Estimator, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// Delphi configuration.
 #[derive(Debug, Clone)]
@@ -116,24 +114,44 @@ impl Delphi {
         Delphi { config }
     }
 
-    /// Runs the adaptive train sequence.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> DelphiReport {
-        let start = sim.now();
-        let ct = self.config.tight_capacity_bps;
-        let mut estimate = self.config.initial_rate_bps / self.config.headroom;
-        let mut rate = self.config.initial_rate_bps;
-        let mut samples = Running::new();
-        let mut steps = Vec::with_capacity(self.config.trains as usize);
-        let mut packets = 0u64;
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> DelphiEstimator {
+        DelphiEstimator {
+            config: self.config.clone(),
+            estimate: self.config.initial_rate_bps / self.config.headroom,
+            rate: self.config.initial_rate_bps,
+            samples: Running::new(),
+            steps: Vec::with_capacity(self.config.trains as usize),
+            packets: 0,
+            sent: 0,
+            events: Vec::new(),
+        }
+    }
+}
 
-        for _ in 0..self.config.trains {
-            let spec = StreamSpec::Periodic {
-                rate_bps: rate,
-                size: self.config.packet_size,
-                count: self.config.packets_per_train,
-            };
-            let result = runner.run_stream(sim, &spec);
-            packets += spec.count() as u64;
+/// Delphi as a decision state machine: each observed train yields a
+/// sample that updates the EWMA tracker, which in turn sets the next
+/// train's input rate.
+#[derive(Debug, Clone)]
+pub struct DelphiEstimator {
+    config: DelphiConfig,
+    estimate: f64,
+    /// Input rate of the train in flight (or about to be sent).
+    rate: f64,
+    samples: Running,
+    steps: Vec<DelphiStep>,
+    packets: u64,
+    sent: u32,
+    events: Vec<ToolEvent>,
+}
+
+impl Estimator for DelphiEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        let ct = self.config.tight_capacity_bps;
+        if let Some(obs) = last {
+            let result = obs.stream().expect("Delphi sends streams");
+            let rate = self.rate;
+            self.packets += result.spec.count() as u64;
 
             let sample = result.output_rate_bps().and_then(|ro| {
                 // Equation 9 needs actual overload: Ro visibly below Ri
@@ -145,39 +163,52 @@ impl Delphi {
             });
             match sample {
                 Some(a) => {
-                    samples.push(a);
-                    estimate = (1.0 - self.config.alpha) * estimate + self.config.alpha * a;
+                    self.samples.push(a);
+                    self.estimate =
+                        (1.0 - self.config.alpha) * self.estimate + self.config.alpha * a;
                 }
                 None => {
                     // train did not overload: the avail-bw is at least Ri,
                     // raise the floor so the next train probes higher
-                    estimate = estimate.max(rate);
+                    self.estimate = self.estimate.max(rate);
                 }
             }
-            sim.emit(
+            self.events.push(ToolEvent::new(
                 "delphi.train",
-                &[
-                    ("iter", steps.len().into()),
+                vec![
+                    ("iter", self.steps.len().into()),
                     ("ri_bps", rate.into()),
                     ("sample_bps", sample.unwrap_or(f64::NAN).into()),
-                    ("estimate_bps", estimate.into()),
+                    ("estimate_bps", self.estimate.into()),
                 ],
-            );
-            steps.push(DelphiStep {
+            ));
+            self.steps.push(DelphiStep {
                 ri_bps: rate,
                 sample_bps: sample,
-                estimate_bps: estimate,
+                estimate_bps: self.estimate,
             });
-            rate = (estimate * self.config.headroom).min(ct * 0.98);
+            self.rate = (self.estimate * self.config.headroom).min(ct * 0.98);
         }
+        if self.sent < self.config.trains {
+            self.sent += 1;
+            Action::Send(ProbeSpec::stream(StreamSpec::Periodic {
+                rate_bps: self.rate,
+                size: self.config.packet_size,
+                count: self.config.packets_per_train,
+            }))
+        } else {
+            Action::Done(Verdict::Delphi(DelphiReport {
+                avail_bps: self.estimate,
+                samples: self.samples.summary(),
+                steps: std::mem::take(&mut self.steps),
+                probe_packets: self.packets,
+                elapsed_secs: 0.0,
+            }))
+        }
+    }
 
-        DelphiReport {
-            avail_bps: estimate,
-            samples: samples.summary(),
-            steps,
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
-        }
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

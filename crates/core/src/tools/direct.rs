@@ -6,13 +6,13 @@
 //! capacity instead is Pitfall 5, and the `fig2`/`table1` experiments are
 //! built directly on this prober.
 
-use abw_netsim::{SimDuration, Simulator};
+use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 
 use crate::fluid::direct_probing_estimate;
-use crate::probe::{ProbeRunner, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
-use crate::tools::Estimate;
+use crate::tools::{Action, Estimate, Estimator, Observation, ProbeSpec, Verdict};
 
 /// Configuration of the direct prober.
 #[derive(Debug, Clone)]
@@ -69,42 +69,64 @@ impl DirectProber {
         ))
     }
 
-    /// Runs the configured number of streams and aggregates the samples.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Estimate {
-        let start = sim.now();
-        let spec = StreamSpec::periodic_for_duration(
-            self.config.input_rate_bps,
-            self.config.packet_size,
-            self.config.stream_duration,
-        );
-        let mut samples = Running::new();
-        let mut packets = 0u64;
-        for _ in 0..self.config.streams {
-            let result = runner.run_stream(sim, &spec);
-            packets += result.spec.count() as u64;
-            if let Some(a) = self.sample(&result) {
-                samples.push(a);
-            }
-        }
-        Estimate {
-            avail_bps: samples.mean(),
-            samples: samples.summary(),
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> DirectEstimator {
+        DirectEstimator {
+            prober: self.clone(),
+            spec: StreamSpec::periodic_for_duration(
+                self.config.input_rate_bps,
+                self.config.packet_size,
+                self.config.stream_duration,
+            ),
+            sent: 0,
+            samples: Running::new(),
+            raw: Vec::new(),
+            packets: 0,
         }
     }
+}
 
-    /// Collects the raw per-stream samples instead of aggregating —
-    /// used by experiments that study the sample distribution itself.
-    pub fn collect_samples(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Vec<f64> {
-        let spec = StreamSpec::periodic_for_duration(
-            self.config.input_rate_bps,
-            self.config.packet_size,
-            self.config.stream_duration,
-        );
-        (0..self.config.streams)
-            .filter_map(|_| self.sample(&runner.run_stream(sim, &spec)))
-            .collect()
+/// Direct probing as a decision state machine: send `streams` identical
+/// periodic trains, turn each into an Equation 9 sample, report the mean.
+#[derive(Debug, Clone)]
+pub struct DirectEstimator {
+    prober: DirectProber,
+    spec: StreamSpec,
+    sent: u32,
+    samples: Running,
+    raw: Vec<f64>,
+    packets: u64,
+}
+
+impl DirectEstimator {
+    /// The raw per-stream samples, in probing order — for experiments
+    /// that study the sample distribution rather than the mean.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.raw
+    }
+}
+
+impl Estimator for DirectEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("direct probing sends streams");
+            self.packets += result.spec.count() as u64;
+            if let Some(a) = self.prober.sample(result) {
+                self.samples.push(a);
+                self.raw.push(a);
+            }
+        }
+        if self.sent < self.prober.config.streams {
+            self.sent += 1;
+            Action::Send(ProbeSpec::stream(self.spec.clone()))
+        } else {
+            Action::Done(Verdict::Point(Estimate {
+                avail_bps: self.samples.mean(),
+                samples: self.samples.summary(),
+                probe_packets: self.packets,
+                elapsed_secs: 0.0,
+            }))
+        }
     }
 }
 

@@ -15,10 +15,9 @@
 //!   `A = Ct - Rc` — which is why the paper calls IGI "harder to
 //!   classify" (an iterative tool that still needs `Ct`).
 
-use abw_netsim::Simulator;
-
-use crate::probe::{ProbeRunner, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
+use crate::tools::{Action, Estimator, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// IGI/PTR configuration.
 #[derive(Debug, Clone)]
@@ -117,60 +116,123 @@ impl Igi {
         Some((igi, ptr))
     }
 
-    /// Runs trains with growing gaps until the turning point.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> IgiReport {
-        let l_bits = self.config.packet_size as f64 * 8.0;
-        let mut rate = self.config.initial_rate_bps;
-        let mut packets = 0u64;
-        let mut last = None;
-        for iteration in 1..=self.config.max_iterations {
-            let spec = StreamSpec::Periodic {
-                rate_bps: rate,
-                size: self.config.packet_size,
-                count: self.config.packets_per_train,
-            };
-            let result = runner.run_stream(sim, &spec);
-            packets += spec.count() as u64;
-            let g_in = l_bits / rate;
-            if let Some((igi, ptr)) = self.analyse_train(&result, g_in) {
-                last = Some((igi, ptr, rate, iteration));
+    /// The resumable state machine reporting the IGI estimate.
+    pub fn estimator(&self) -> IgiEstimator {
+        self.make_estimator(false)
+    }
+
+    /// The resumable state machine reporting the PTR estimate. The run is
+    /// identical to [`Igi::estimator`]; only the [`Verdict`] variant (and
+    /// so the registry's headline number) differs.
+    pub fn ptr_estimator(&self) -> IgiEstimator {
+        self.make_estimator(true)
+    }
+
+    fn make_estimator(&self, ptr: bool) -> IgiEstimator {
+        IgiEstimator {
+            tool: self.clone(),
+            ptr,
+            rate: self.config.initial_rate_bps,
+            sent: 0,
+            packets: 0,
+            last: None,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// IGI/PTR as a decision state machine: grow the input gap train by
+/// train until the turning point, then report via the IGI formula (or
+/// the train rate, in PTR mode).
+#[derive(Debug, Clone)]
+pub struct IgiEstimator {
+    tool: Igi,
+    /// Report as [`Verdict::Ptr`] instead of [`Verdict::Igi`].
+    ptr: bool,
+    /// Input rate of the train in flight (or about to be sent).
+    rate: f64,
+    /// Trains sent so far (the 1-based iteration counter).
+    sent: u32,
+    packets: u64,
+    /// Most recent train that produced gaps, for the exhausted case:
+    /// `(igi, ptr, rate, iteration)`.
+    last: Option<(f64, f64, f64, u32)>,
+    events: Vec<ToolEvent>,
+}
+
+impl IgiEstimator {
+    fn verdict(&self, report: IgiReport) -> Verdict {
+        if self.ptr {
+            Verdict::Ptr(report)
+        } else {
+            Verdict::Igi(report)
+        }
+    }
+}
+
+impl Estimator for IgiEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        let config = &self.tool.config;
+        let l_bits = config.packet_size as f64 * 8.0;
+        if let Some(obs) = last {
+            let result = obs.stream().expect("IGI sends trains");
+            self.packets += result.spec.count() as u64;
+            let g_in = l_bits / self.rate;
+            if let Some((igi, ptr)) = self.tool.analyse_train(result, g_in) {
+                self.last = Some((igi, ptr, self.rate, self.sent));
                 // turning point: output gaps no longer exceed input gaps
                 let gaps = result.pair_gaps();
                 let avg_out: f64 = gaps.iter().map(|&(_, g)| g).sum::<f64>() / gaps.len() as f64;
-                let turned = avg_out <= g_in * (1.0 + self.config.tolerance);
-                sim.emit(
+                let turned = avg_out <= g_in * (1.0 + config.tolerance);
+                self.events.push(ToolEvent::new(
                     "igi.train",
-                    &[
-                        ("iter", u64::from(iteration).into()),
-                        ("rate_bps", rate.into()),
+                    vec![
+                        ("iter", u64::from(self.sent).into()),
+                        ("rate_bps", self.rate.into()),
                         ("g_in_s", g_in.into()),
                         ("avg_g_out_s", avg_out.into()),
                         ("igi_bps", igi.into()),
                         ("ptr_bps", ptr.into()),
                         ("turned", turned.into()),
                     ],
-                );
+                ));
                 if turned {
-                    return IgiReport {
+                    let report = IgiReport {
                         igi_bps: igi,
                         ptr_bps: ptr,
-                        turning_rate_bps: rate,
-                        iterations: iteration,
-                        probe_packets: packets,
+                        turning_rate_bps: self.rate,
+                        iterations: self.sent,
+                        probe_packets: self.packets,
                     };
+                    return Action::Done(self.verdict(report));
                 }
             }
-            rate /= self.config.gap_growth;
+            self.rate /= config.gap_growth;
         }
-        // never converged: report the last train's numbers
-        let (igi, ptr, rate, iterations) = last.expect("at least one train must produce gaps");
-        IgiReport {
-            igi_bps: igi,
-            ptr_bps: ptr,
-            turning_rate_bps: rate,
-            iterations,
-            probe_packets: packets,
+        if self.sent < config.max_iterations {
+            self.sent += 1;
+            Action::Send(ProbeSpec::stream(StreamSpec::Periodic {
+                rate_bps: self.rate,
+                size: config.packet_size,
+                count: config.packets_per_train,
+            }))
+        } else {
+            // never converged: report the last train's numbers
+            let (igi, ptr, rate, iterations) =
+                self.last.expect("at least one train must produce gaps");
+            let report = IgiReport {
+                igi_bps: igi,
+                ptr_bps: ptr,
+                turning_rate_bps: rate,
+                iterations,
+                probe_packets: self.packets,
+            };
+            Action::Done(self.verdict(report))
         }
+    }
+
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -237,5 +299,22 @@ mod tests {
         let r = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut runner);
         assert_eq!(r.iterations, 1, "48 Mb/s < C = 50 Mb/s: no queueing");
         assert!(r.igi_bps > 45e6);
+    }
+
+    #[test]
+    fn ptr_estimator_matches_igi_run() {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            cross: CrossKind::Cbr,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+        let igi = Igi::new(IgiConfig::default());
+        let mut tool = igi.ptr_estimator();
+        let mut runner = s.runner();
+        let verdict = crate::probe::Session::over(&mut runner).drive(&mut s.sim, &mut tool);
+        match verdict {
+            Verdict::Ptr(r) => assert!(r.ptr_bps > 0.0),
+            other => panic!("expected a PTR verdict, got {other:?}"),
+        }
     }
 }

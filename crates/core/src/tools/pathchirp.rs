@@ -12,12 +12,11 @@
 //! do not change the tool's character — an iterative prober whose single
 //! chirp spans a whole rate range.
 
-use abw_netsim::Simulator;
 use abw_stats::running::Running;
 
-use crate::probe::{ProbeRunner, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
-use crate::tools::Estimate;
+use crate::tools::{Action, Estimate, Estimator, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// pathChirp configuration.
 #[derive(Debug, Clone)]
@@ -106,39 +105,73 @@ impl Pathchirp {
         }
     }
 
-    /// Sends the configured chirps and averages the per-chirp estimates.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Estimate {
-        let start = sim.now();
-        let spec = StreamSpec::Chirp {
-            start_rate_bps: self.config.start_rate_bps,
-            gamma: self.config.gamma,
-            size: self.config.packet_size,
-            count: self.config.packets_per_chirp,
-        };
-        let mut samples = Running::new();
-        let mut packets = 0u64;
-        for chirp in 0..self.config.chirps {
-            let result = runner.run_stream(sim, &spec);
-            packets += spec.count() as u64;
-            if let Some(e) = self.chirp_estimate(&result) {
-                samples.push(e);
-                sim.emit(
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> PathchirpEstimator {
+        PathchirpEstimator {
+            tool: self.clone(),
+            spec: StreamSpec::Chirp {
+                start_rate_bps: self.config.start_rate_bps,
+                gamma: self.config.gamma,
+                size: self.config.packet_size,
+                count: self.config.packets_per_chirp,
+            },
+            sent: 0,
+            processed: 0,
+            samples: Running::new(),
+            packets: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// pathChirp as a decision state machine: send `chirps` identical chirp
+/// streams, run the excursion analysis on each, report the mean.
+#[derive(Debug, Clone)]
+pub struct PathchirpEstimator {
+    tool: Pathchirp,
+    spec: StreamSpec,
+    sent: u32,
+    /// Chirps observed so far (the trace-event iteration counter).
+    processed: u32,
+    samples: Running,
+    packets: u64,
+    events: Vec<ToolEvent>,
+}
+
+impl Estimator for PathchirpEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("pathChirp sends chirps");
+            self.packets += result.spec.count() as u64;
+            if let Some(e) = self.tool.chirp_estimate(result) {
+                self.samples.push(e);
+                self.events.push(ToolEvent::new(
                     "pathchirp.chirp",
-                    &[
-                        ("iter", u64::from(chirp).into()),
+                    vec![
+                        ("iter", u64::from(self.processed).into()),
                         ("estimate_bps", e.into()),
-                        ("running_mean_bps", samples.mean().into()),
+                        ("running_mean_bps", self.samples.mean().into()),
                         ("received", result.received().into()),
                     ],
-                );
+                ));
             }
+            self.processed += 1;
         }
-        Estimate {
-            avail_bps: samples.mean(),
-            samples: samples.summary(),
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
+        if self.sent < self.tool.config.chirps {
+            self.sent += 1;
+            Action::Send(ProbeSpec::stream(self.spec.clone()))
+        } else {
+            Action::Done(Verdict::Point(Estimate {
+                avail_bps: self.samples.mean(),
+                samples: self.samples.summary(),
+                probe_packets: self.packets,
+                elapsed_secs: 0.0,
+            }))
         }
+    }
+
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

@@ -15,9 +15,9 @@
 use abw_netsim::Simulator;
 use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
 
-use crate::probe::ProbeRunner;
+use crate::probe::{ProbeRunner, Session, StreamResult};
 use crate::stream::StreamSpec;
-use crate::tools::RangeEstimate;
+use crate::tools::{Action, Estimator, Observation, ProbeSpec, RangeEstimate, ToolEvent, Verdict};
 
 /// Pathload configuration.
 #[derive(Debug, Clone)]
@@ -136,114 +136,212 @@ impl Pathload {
         Pathload { config }
     }
 
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> PathloadEstimator {
+        PathloadEstimator {
+            config: self.config.clone(),
+            lo: self.config.min_rate_bps,
+            hi: self.config.max_rate_bps,
+            grey_lo: f64::INFINITY,
+            grey_hi: f64::NEG_INFINITY,
+            fleets: Vec::new(),
+            packets: 0,
+            fleet: None,
+            events: Vec::new(),
+        }
+    }
+
     /// Sends one fleet at `rate` and votes on the OWD trends.
+    #[deprecated(note = "drive a `Pathload::estimator()` through `Session` instead")]
     pub fn run_fleet(
         &self,
         sim: &mut Simulator,
         runner: &mut ProbeRunner,
         rate_bps: f64,
     ) -> (FleetVerdict, f64, u64) {
-        let spec = StreamSpec::Periodic {
-            rate_bps,
-            size: self.config.packet_size,
-            count: self.config.packets_per_stream,
-        };
-        let mut increasing = 0u32;
-        let mut decided = 0u32;
-        let mut packets = 0u64;
-        for _ in 0..self.config.streams_per_fleet {
+        let mut fleet = FleetMachine::new(rate_bps);
+        while let Some(spec) = fleet.next_spec(&self.config) {
             let result = runner.run_stream(sim, &spec);
-            packets += spec.count() as u64;
-            match self.config.trend.classify(&result.owds()) {
-                TrendVerdict::Increasing => {
-                    increasing += 1;
-                    decided += 1;
-                }
-                TrendVerdict::NoTrend => decided += 1,
-                TrendVerdict::Ambiguous => {}
-            }
+            fleet.observe(&result, &self.config);
         }
-        let fraction = if decided == 0 {
+        fleet.tally(&self.config)
+    }
+
+    /// Runs against an explicit simulator/runner pair.
+    #[deprecated(note = "drive a `Pathload::estimator()` through `Session` instead")]
+    pub fn run_with(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> PathloadReport {
+        let mut tool = self.estimator();
+        match Session::over(runner).drive(sim, &mut tool) {
+            Verdict::Pathload(r) => r,
+            _ => unreachable!("Pathload yields a Pathload report"),
+        }
+    }
+}
+
+/// One fleet of identical-rate streams, as a sub-machine of the binary
+/// search: hand out stream specs until the fleet is complete, collect
+/// trend votes, then tally the verdict.
+#[derive(Debug, Clone)]
+struct FleetMachine {
+    rate_bps: f64,
+    sent: u32,
+    observed: u32,
+    increasing: u32,
+    decided: u32,
+    packets: u64,
+}
+
+impl FleetMachine {
+    fn new(rate_bps: f64) -> Self {
+        FleetMachine {
+            rate_bps,
+            sent: 0,
+            observed: 0,
+            increasing: 0,
+            decided: 0,
+            packets: 0,
+        }
+    }
+
+    /// The next stream to send, or `None` once the whole fleet is out.
+    fn next_spec(&mut self, config: &PathloadConfig) -> Option<StreamSpec> {
+        if self.sent >= config.streams_per_fleet {
+            return None;
+        }
+        self.sent += 1;
+        Some(StreamSpec::Periodic {
+            rate_bps: self.rate_bps,
+            size: config.packet_size,
+            count: config.packets_per_stream,
+        })
+    }
+
+    fn observe(&mut self, result: &StreamResult, config: &PathloadConfig) {
+        self.observed += 1;
+        self.packets += result.spec.count() as u64;
+        match config.trend.classify(&result.owds()) {
+            TrendVerdict::Increasing => {
+                self.increasing += 1;
+                self.decided += 1;
+            }
+            TrendVerdict::NoTrend => self.decided += 1,
+            TrendVerdict::Ambiguous => {}
+        }
+    }
+
+    fn tally(&self, config: &PathloadConfig) -> (FleetVerdict, f64, u64) {
+        let fraction = if self.decided == 0 {
             0.5
         } else {
-            increasing as f64 / decided as f64
+            f64::from(self.increasing) / f64::from(self.decided)
         };
-        let verdict = if fraction > self.config.above_fraction {
+        let verdict = if fraction > config.above_fraction {
             FleetVerdict::Above
-        } else if fraction < self.config.below_fraction {
+        } else if fraction < config.below_fraction {
             FleetVerdict::Below
         } else {
             FleetVerdict::Grey
         };
-        (verdict, fraction, packets)
+        (verdict, fraction, self.packets)
     }
+}
 
-    /// Runs the full binary search and returns the variation range.
-    pub fn run(&self, scenario: &mut crate::scenario::Scenario) -> PathloadReport {
-        let mut runner = scenario.runner();
-        self.run_with(&mut scenario.sim, &mut runner)
-    }
+/// Pathload as a decision state machine: a binary search over rates,
+/// each probe of the search being a full fleet (run by an internal
+/// `FleetMachine`).
+#[derive(Debug, Clone)]
+pub struct PathloadEstimator {
+    config: PathloadConfig,
+    lo: f64,
+    hi: f64,
+    /// Grey-region bounds observed during the search.
+    grey_lo: f64,
+    grey_hi: f64,
+    fleets: Vec<(f64, FleetVerdict, f64)>,
+    packets: u64,
+    /// The fleet in flight, if any.
+    fleet: Option<FleetMachine>,
+    events: Vec<ToolEvent>,
+}
 
-    /// Runs against an explicit simulator/runner pair.
-    pub fn run_with(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> PathloadReport {
-        let start = sim.now();
-        let mut lo = self.config.min_rate_bps;
-        let mut hi = self.config.max_rate_bps;
-        // grey-region bounds observed during the search
-        let mut grey_lo = f64::INFINITY;
-        let mut grey_hi = f64::NEG_INFINITY;
-        let mut fleets = Vec::new();
-        let mut packets = 0u64;
-
-        while hi - lo > self.config.resolution_bps {
-            let rate = (lo + hi) / 2.0;
-            let (verdict, fraction, pkts) = self.run_fleet(sim, runner, rate);
-            packets += pkts;
-            fleets.push((rate, verdict, fraction));
-            match verdict {
-                FleetVerdict::Above => hi = rate,
-                FleetVerdict::Below => lo = rate,
-                FleetVerdict::Grey => {
-                    grey_lo = grey_lo.min(rate);
-                    grey_hi = grey_hi.max(rate);
-                    // a grey rate is inside the variation range: tighten
-                    // both sides toward it so the search can terminate
-                    let quarter = (hi - lo) / 4.0;
-                    lo = (rate - quarter).max(lo);
-                    hi = (rate + quarter).min(hi);
+impl Estimator for PathloadEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("Pathload sends streams");
+            self.fleet
+                .as_mut()
+                .expect("observation with no fleet in flight")
+                .observe(result, &self.config);
+        }
+        loop {
+            match &mut self.fleet {
+                Some(fleet) => {
+                    if let Some(spec) = fleet.next_spec(&self.config) {
+                        return Action::Send(ProbeSpec::stream(spec));
+                    }
+                    // fleet complete: vote and update the search bracket
+                    let fleet = self.fleet.take().expect("fleet present");
+                    let rate = fleet.rate_bps;
+                    let (verdict, fraction, pkts) = fleet.tally(&self.config);
+                    self.packets += pkts;
+                    self.fleets.push((rate, verdict, fraction));
+                    match verdict {
+                        FleetVerdict::Above => self.hi = rate,
+                        FleetVerdict::Below => self.lo = rate,
+                        FleetVerdict::Grey => {
+                            self.grey_lo = self.grey_lo.min(rate);
+                            self.grey_hi = self.grey_hi.max(rate);
+                            // a grey rate is inside the variation range:
+                            // tighten both sides toward it so the search
+                            // can terminate
+                            let quarter = (self.hi - self.lo) / 4.0;
+                            self.lo = (rate - quarter).max(self.lo);
+                            self.hi = (rate + quarter).min(self.hi);
+                        }
+                    }
+                    self.events.push(ToolEvent::new(
+                        "pathload.fleet",
+                        vec![
+                            ("iter", (self.fleets.len() - 1).into()),
+                            ("rate_bps", rate.into()),
+                            ("verdict", verdict.as_str().into()),
+                            ("inc_fraction", fraction.into()),
+                            ("lo_bps", self.lo.into()),
+                            ("hi_bps", self.hi.into()),
+                        ],
+                    ));
+                }
+                None => {
+                    if self.hi - self.lo > self.config.resolution_bps {
+                        self.fleet = Some(FleetMachine::new((self.lo + self.hi) / 2.0));
+                        continue;
+                    }
+                    // widen the final bracket by any grey rates seen
+                    // outside it
+                    let range_lo = self.lo.min(self.grey_lo);
+                    let range_hi = self.hi.max(self.grey_hi);
+                    self.events.push(ToolEvent::new(
+                        "pathload.result",
+                        vec![
+                            ("lo_bps", range_lo.into()),
+                            ("hi_bps", range_hi.into()),
+                            ("fleets", self.fleets.len().into()),
+                            ("packets", self.packets.into()),
+                        ],
+                    ));
+                    return Action::Done(Verdict::Pathload(PathloadReport {
+                        range_bps: (range_lo, range_hi),
+                        fleets: std::mem::take(&mut self.fleets),
+                        probe_packets: self.packets,
+                        elapsed_secs: 0.0,
+                    }));
                 }
             }
-            sim.emit(
-                "pathload.fleet",
-                &[
-                    ("iter", (fleets.len() - 1).into()),
-                    ("rate_bps", rate.into()),
-                    ("verdict", verdict.as_str().into()),
-                    ("inc_fraction", fraction.into()),
-                    ("lo_bps", lo.into()),
-                    ("hi_bps", hi.into()),
-                ],
-            );
         }
+    }
 
-        // widen the final bracket by any grey rates seen outside it
-        let range_lo = lo.min(grey_lo);
-        let range_hi = hi.max(grey_hi);
-        sim.emit(
-            "pathload.result",
-            &[
-                ("lo_bps", range_lo.into()),
-                ("hi_bps", range_hi.into()),
-                ("fleets", fleets.len().into()),
-                ("packets", packets.into()),
-            ],
-        );
-        PathloadReport {
-            range_bps: (range_lo, range_hi),
-            fleets,
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
-        }
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 
@@ -290,6 +388,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn fleet_verdicts_flip_across_the_avail_bw() {
         let mut s = scenario(CrossKind::Cbr);
         let pl = Pathload::new(PathloadConfig::quick());

@@ -10,12 +10,11 @@
 
 #[cfg(test)]
 use abw_netsim::SimDuration;
-use abw_netsim::Simulator;
 use abw_stats::running::Running;
 
-use crate::probe::{ProbeRunner, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
-use crate::tools::Estimate;
+use crate::tools::{Action, Estimate, Estimator, Observation, ProbeSpec, Verdict};
 
 /// S-chirp configuration.
 #[derive(Debug, Clone)]
@@ -109,29 +108,53 @@ impl Schirp {
         }
     }
 
-    /// Sends the configured chirps and averages the per-chirp estimates.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Estimate {
-        let start = sim.now();
-        let spec = StreamSpec::Chirp {
-            start_rate_bps: self.config.start_rate_bps,
-            gamma: self.config.gamma,
-            size: self.config.packet_size,
-            count: self.config.packets_per_chirp,
-        };
-        let mut samples = Running::new();
-        let mut packets = 0u64;
-        for _ in 0..self.config.chirps {
-            let result = runner.run_stream(sim, &spec);
-            packets += spec.count() as u64;
-            if let Some(e) = self.chirp_estimate(&result) {
-                samples.push(e);
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> SchirpEstimator {
+        SchirpEstimator {
+            tool: self.clone(),
+            spec: StreamSpec::Chirp {
+                start_rate_bps: self.config.start_rate_bps,
+                gamma: self.config.gamma,
+                size: self.config.packet_size,
+                count: self.config.packets_per_chirp,
+            },
+            sent: 0,
+            samples: Running::new(),
+            packets: 0,
+        }
+    }
+}
+
+/// S-chirp as a decision state machine: send the configured chirps and
+/// average the per-chirp onset estimates.
+#[derive(Debug, Clone)]
+pub struct SchirpEstimator {
+    tool: Schirp,
+    spec: StreamSpec,
+    sent: u32,
+    samples: Running,
+    packets: u64,
+}
+
+impl Estimator for SchirpEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("S-chirp sends chirps");
+            self.packets += result.spec.count() as u64;
+            if let Some(e) = self.tool.chirp_estimate(result) {
+                self.samples.push(e);
             }
         }
-        Estimate {
-            avail_bps: samples.mean(),
-            samples: samples.summary(),
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
+        if self.sent < self.tool.config.chirps {
+            self.sent += 1;
+            Action::Send(ProbeSpec::stream(self.spec.clone()))
+        } else {
+            Action::Done(Verdict::Point(Estimate {
+                avail_bps: self.samples.mean(),
+                samples: self.samples.summary(),
+                probe_packets: self.packets,
+                elapsed_secs: 0.0,
+            }))
         }
     }
 }

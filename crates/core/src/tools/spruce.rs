@@ -12,15 +12,15 @@
 //! are as good as packet trains") is about — Table 1 is generated with
 //! this sampling structure.
 
-use abw_netsim::{SimDuration, Simulator};
+use abw_netsim::SimDuration;
 use abw_stats::running::Running;
 use abw_stats::sampling::exp_variate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::probe::{ProbeRunner, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
-use crate::tools::Estimate;
+use crate::tools::{Action, Estimate, Estimator, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// Spruce configuration.
 #[derive(Debug, Clone)]
@@ -74,46 +74,77 @@ impl Spruce {
         Some(self.config.tight_capacity_bps * (1.0 - (gap_out - gap_in) / gap_in))
     }
 
-    /// Sends the configured pairs and returns the averaged estimate.
-    ///
-    /// Negative per-pair samples (possible when a burst lands between the
-    /// pair) are clamped to zero, as in the published tool.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> Estimate {
-        let start = sim.now();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let spec = StreamSpec::Pair {
-            rate_bps: self.config.tight_capacity_bps,
-            size: self.config.packet_size,
-        };
-        let mut samples = Running::new();
-        let mut packets = 0u64;
-        let saved_gap = runner.stream_gap;
-        for _ in 0..self.config.pairs {
-            runner.stream_gap = SimDuration::from_secs_f64(exp_variate(
-                &mut rng,
-                self.config.mean_pair_gap.as_secs_f64(),
-            ));
-            let result = runner.run_stream(sim, &spec);
-            packets += 2;
-            if let Some(a) = self.sample(&result) {
-                samples.push(a.max(0.0));
-                sim.emit(
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> SpruceEstimator {
+        SpruceEstimator {
+            tool: self.clone(),
+            rng: StdRng::seed_from_u64(self.config.seed),
+            spec: StreamSpec::Pair {
+                rate_bps: self.config.tight_capacity_bps,
+                size: self.config.packet_size,
+            },
+            sent: 0,
+            samples: Running::new(),
+            packets: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Spruce as a decision state machine: each pair is requested with its
+/// own exponentially drawn pre-gap (Poisson sampling of the avail-bw
+/// process); negative samples are clamped to zero as in the published
+/// tool.
+#[derive(Debug, Clone)]
+pub struct SpruceEstimator {
+    tool: Spruce,
+    rng: StdRng,
+    spec: StreamSpec,
+    sent: u32,
+    samples: Running,
+    packets: u64,
+    events: Vec<ToolEvent>,
+}
+
+impl Estimator for SpruceEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        if let Some(obs) = last {
+            let result = obs.stream().expect("Spruce sends pairs");
+            self.packets += 2;
+            if let Some(a) = self.tool.sample(result) {
+                self.samples.push(a.max(0.0));
+                self.events.push(ToolEvent::new(
                     "spruce.pair",
-                    &[
-                        ("iter", (samples.count() - 1).into()),
+                    vec![
+                        ("iter", (self.samples.count() - 1).into()),
                         ("sample_bps", a.into()),
-                        ("running_mean_bps", samples.mean().into()),
+                        ("running_mean_bps", self.samples.mean().into()),
                     ],
-                );
+                ));
             }
         }
-        runner.stream_gap = saved_gap;
-        Estimate {
-            avail_bps: samples.mean(),
-            samples: samples.summary(),
-            probe_packets: packets,
-            elapsed_secs: sim.now().since(start).as_secs_f64(),
+        if self.sent < self.tool.config.pairs {
+            self.sent += 1;
+            let gap = SimDuration::from_secs_f64(exp_variate(
+                &mut self.rng,
+                self.tool.config.mean_pair_gap.as_secs_f64(),
+            ));
+            Action::Send(ProbeSpec::Stream {
+                spec: self.spec.clone(),
+                pre_gap: Some(gap),
+            })
+        } else {
+            Action::Done(Verdict::Point(Estimate {
+                avail_bps: self.samples.mean(),
+                samples: self.samples.summary(),
+                probe_packets: self.packets,
+                elapsed_secs: 0.0,
+            }))
         }
+    }
+
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
     }
 }
 

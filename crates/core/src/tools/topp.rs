@@ -14,12 +14,12 @@
 //! averaging the `n-1` gaps of a train dilutes that self-induced bias by
 //! `1/(n-1)`.
 
-use abw_netsim::Simulator;
+use abw_netsim::SimDuration;
 use abw_stats::regression::linear_fit;
 use abw_stats::running::Running;
 
-use crate::probe::ProbeRunner;
 use crate::stream::StreamSpec;
+use crate::tools::{Action, Estimator, Observation, ProbeSpec, ToolEvent, Verdict};
 
 /// TOPP configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +38,9 @@ pub struct ToppConfig {
     pub packet_size: u32,
     /// `Ri/Ro` above `1 + tolerance` counts as expansion.
     pub tolerance: f64,
+    /// Inter-stream gap for the sweep's trains; `None` keeps the
+    /// session runner's configured gap.
+    pub stream_gap: Option<SimDuration>,
 }
 
 impl Default for ToppConfig {
@@ -50,6 +53,7 @@ impl Default for ToppConfig {
             packets_per_stream: 17,
             packet_size: 1500,
             tolerance: 0.05,
+            stream_gap: None,
         }
     }
 }
@@ -97,65 +101,17 @@ impl Topp {
         Topp { config }
     }
 
-    /// Runs the linear sweep and analyses the turning point.
-    pub fn run(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> ToppReport {
-        let mut points = Vec::new();
-        let mut packets = 0u64;
-        let mut rate = self.config.min_rate_bps;
-        while rate <= self.config.max_rate_bps + 1e-9 {
-            let spec = StreamSpec::Periodic {
-                rate_bps: rate,
-                size: self.config.packet_size,
-                count: self.config.packets_per_stream,
-            };
-            // average the output *dispersion* gaps, then convert to a
-            // rate: Ro = L / mean(g_out). Averaging per-gap rates
-            // L/g_out instead would be Jensen-biased upward by gap
-            // noise, which at low probing rates (long gaps, many
-            // interleaved cross packets) fabricates expansion.
-            let mut gout = Running::new();
-            for _ in 0..self.config.streams_per_rate {
-                let r = runner.run_stream(sim, &spec);
-                packets += spec.count() as u64;
-                for &(_, g_out) in &r.pair_gaps() {
-                    if g_out > 0.0 {
-                        gout.push(g_out);
-                    }
-                }
-            }
-            if gout.count() > 0 {
-                let ro_mean = self.config.packet_size as f64 * 8.0 / gout.mean();
-                sim.emit(
-                    "topp.round",
-                    &[
-                        ("iter", points.len().into()),
-                        ("ri_bps", rate.into()),
-                        ("ro_bps", ro_mean.into()),
-                        ("ratio", (rate / ro_mean).into()),
-                    ],
-                );
-                points.push(ToppPoint {
-                    ri_bps: rate,
-                    ro_bps: ro_mean,
-                    ratio: rate / ro_mean,
-                });
-            }
-            rate += self.config.step_bps;
+    /// The resumable state machine for one estimation round.
+    pub fn estimator(&self) -> ToppEstimator {
+        ToppEstimator {
+            tool: self.clone(),
+            rate: self.config.min_rate_bps,
+            in_round: 0,
+            gout: Running::new(),
+            points: Vec::new(),
+            packets: 0,
+            events: Vec::new(),
         }
-        let report = self.analyse(points, packets);
-        sim.emit(
-            "topp.result",
-            &[
-                ("avail_bps", report.avail_bps.into()),
-                (
-                    "tight_capacity_bps",
-                    report.tight_capacity_bps.unwrap_or(f64::NAN).into(),
-                ),
-                ("turning_rate_bps", report.turning_rate_bps.into()),
-                ("rounds", report.points.len().into()),
-            ],
-        );
-        report
     }
 
     /// Turning-point analysis over a completed sweep.
@@ -217,12 +173,101 @@ impl Topp {
     }
 }
 
+/// TOPP as a decision state machine: sweep the offered rate linearly,
+/// averaging the output dispersion over `streams_per_rate` trains per
+/// rate, then run the turning-point analysis.
+#[derive(Debug, Clone)]
+pub struct ToppEstimator {
+    tool: Topp,
+    /// Offered rate of the current round.
+    rate: f64,
+    /// Trains observed so far at the current rate.
+    in_round: u32,
+    /// Output-gap accumulator of the current round. Averaging the
+    /// *dispersion* gaps, then converting to a rate `Ro = L / mean(g_out)`,
+    /// avoids the upward Jensen bias of averaging per-gap rates `L/g_out`,
+    /// which at low probing rates (long gaps, many interleaved cross
+    /// packets) fabricates expansion.
+    gout: Running,
+    points: Vec<ToppPoint>,
+    packets: u64,
+    events: Vec<ToolEvent>,
+}
+
+impl Estimator for ToppEstimator {
+    fn next(&mut self, last: Option<&Observation>) -> Action {
+        let config = &self.tool.config;
+        if let Some(obs) = last {
+            let result = obs.stream().expect("TOPP sends trains");
+            self.packets += result.spec.count() as u64;
+            for &(_, g_out) in &result.pair_gaps() {
+                if g_out > 0.0 {
+                    self.gout.push(g_out);
+                }
+            }
+            self.in_round += 1;
+            if self.in_round == config.streams_per_rate {
+                if self.gout.count() > 0 {
+                    let ro_mean = config.packet_size as f64 * 8.0 / self.gout.mean();
+                    self.events.push(ToolEvent::new(
+                        "topp.round",
+                        vec![
+                            ("iter", self.points.len().into()),
+                            ("ri_bps", self.rate.into()),
+                            ("ro_bps", ro_mean.into()),
+                            ("ratio", (self.rate / ro_mean).into()),
+                        ],
+                    ));
+                    self.points.push(ToppPoint {
+                        ri_bps: self.rate,
+                        ro_bps: ro_mean,
+                        ratio: self.rate / ro_mean,
+                    });
+                }
+                self.gout = Running::new();
+                self.in_round = 0;
+                self.rate += config.step_bps;
+            }
+        }
+        if self.rate <= config.max_rate_bps + 1e-9 {
+            Action::Send(ProbeSpec::Stream {
+                spec: StreamSpec::Periodic {
+                    rate_bps: self.rate,
+                    size: config.packet_size,
+                    count: config.packets_per_stream,
+                },
+                pre_gap: config.stream_gap,
+            })
+        } else {
+            let report = self
+                .tool
+                .analyse(std::mem::take(&mut self.points), self.packets);
+            self.events.push(ToolEvent::new(
+                "topp.result",
+                vec![
+                    ("avail_bps", report.avail_bps.into()),
+                    (
+                        "tight_capacity_bps",
+                        report.tight_capacity_bps.unwrap_or(f64::NAN).into(),
+                    ),
+                    ("turning_rate_bps", report.turning_rate_bps.into()),
+                    ("rounds", report.points.len().into()),
+                ],
+            ));
+            Action::Done(Verdict::Topp(report))
+        }
+    }
+
+    fn take_events(&mut self) -> Vec<ToolEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fluid::output_rate;
     use crate::scenario::{CrossKind, Scenario, SingleHopConfig};
-    use abw_netsim::SimDuration;
 
     /// Analysis on synthetic fluid-model points must recover A and Ct.
     #[test]

@@ -18,6 +18,14 @@ pub trait ArrivalProcess: Send {
 
     /// The configured long-run mean rate in bits per second.
     fn mean_rate_bps(&self) -> f64;
+
+    /// Retunes the mean rate mid-stream, keeping the RNG state (so a
+    /// rate step does not replay or skip arrivals). Returns `false` —
+    /// the default — when the process does not support retuning or the
+    /// rate is not positive; the process is unchanged in that case.
+    fn set_rate_bps(&mut self, _rate_bps: f64) -> bool {
+        false
+    }
 }
 
 /// Draws `Exp(mean)` seconds via inverse transform.
@@ -60,6 +68,14 @@ impl ArrivalProcess for Cbr {
     fn mean_rate_bps(&self) -> f64 {
         self.rate_bps
     }
+
+    fn set_rate_bps(&mut self, rate_bps: f64) -> bool {
+        if rate_bps.is_nan() || rate_bps <= 0.0 {
+            return false;
+        }
+        self.rate_bps = rate_bps;
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -98,6 +114,15 @@ impl ArrivalProcess for PoissonProcess {
 
     fn mean_rate_bps(&self) -> f64 {
         self.rate_bps
+    }
+
+    fn set_rate_bps(&mut self, rate_bps: f64) -> bool {
+        if rate_bps.is_nan() || rate_bps <= 0.0 {
+            return false;
+        }
+        self.rate_bps = rate_bps;
+        self.mean_gap_secs = 8.0 * self.sizes.mean() / rate_bps;
+        true
     }
 }
 
@@ -307,6 +332,34 @@ mod tests {
     #[should_panic]
     fn onoff_peak_must_exceed_mean() {
         let _ = ParetoOnOff::new(50e6, 25e6, 1500, 0);
+    }
+
+    #[test]
+    fn retuning_changes_rate_without_touching_rng_state() {
+        let mut p = Cbr::new(25e6, 1500);
+        assert!(p.set_rate_bps(10e6));
+        assert_eq!(p.mean_rate_bps(), 10e6);
+        let r = empirical_rate(&mut p, 1000);
+        assert!((r - 10e6).abs() / 10e6 < 1e-6, "rate {r}");
+        assert!(!p.set_rate_bps(0.0), "non-positive rate must be rejected");
+        assert_eq!(p.mean_rate_bps(), 10e6);
+
+        // Poisson: the retuned process continues its RNG sequence — the
+        // gaps after the step must equal a fresh same-seed process's
+        // gaps scaled by the rate ratio (exp_variate is multiplicative)
+        let mut a = PoissonProcess::new(25e6, SizeDist::Constant(1500), 42);
+        let mut b = PoissonProcess::new(50e6, SizeDist::Constant(1500), 42);
+        assert!(a.set_rate_bps(50e6));
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+        let r = empirical_rate(&mut a, 200_000);
+        assert!((r - 50e6).abs() / 50e6 < 0.01, "rate {r}");
+
+        // heavy-tailed processes do not support retuning
+        let mut p = ParetoOnOff::new(25e6, 50e6, 1500, 5);
+        assert!(!p.set_rate_bps(10e6));
+        assert_eq!(p.mean_rate_bps(), 25e6);
     }
 
     #[test]

@@ -44,6 +44,13 @@ impl SourceAgent {
         self
     }
 
+    /// Retunes the process's mean rate mid-simulation (see
+    /// [`ArrivalProcess::set_rate_bps`]); already-scheduled arrivals are
+    /// unaffected, the new rate applies from the next gap drawn.
+    pub fn set_rate_bps(&mut self, rate_bps: f64) -> bool {
+        self.process.set_rate_bps(rate_bps)
+    }
+
     /// Empirical mean rate injected so far, given the elapsed time.
     pub fn injected_rate_bps(&self, elapsed: SimDuration) -> f64 {
         if elapsed == SimDuration::ZERO {

@@ -2,23 +2,16 @@
 //! conditions — the "fair comparison under reproducible and controllable
 //! conditions" the paper's summary calls for.
 //!
-//! Each tool runs on an identical 50/25 Mb/s Poisson single-hop
-//! scenario (fresh seed per tool so probes never interact); the table
-//! reports the estimate, the probing overhead in packets, and the
-//! measurement latency in simulated seconds.
+//! Every tool comes from the registry and runs on an identical
+//! 50/25 Mb/s Poisson single-hop scenario (fresh replica per tool so
+//! probes never interact); the table reports the estimate, the probing
+//! overhead in packets, and the measurement latency in simulated
+//! seconds.
 //!
 //! Run with: `cargo run --release --example compare_tools`
 
 use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
-use abwe::core::tools::bfind::{Bfind, BfindConfig};
-use abwe::core::tools::delphi::{Delphi, DelphiConfig};
-use abwe::core::tools::direct::{DirectConfig, DirectProber};
-use abwe::core::tools::igi::{Igi, IgiConfig};
-use abwe::core::tools::pathchirp::{Pathchirp, PathchirpConfig};
-use abwe::core::tools::pathload::{Pathload, PathloadConfig};
-use abwe::core::tools::schirp::{Schirp, SchirpConfig};
-use abwe::core::tools::spruce::{Spruce, SpruceConfig};
-use abwe::core::tools::topp::{Topp, ToppConfig};
+use abwe::core::tools::registry::{self, ToolConfig};
 use abwe::netsim::SimDuration;
 
 fn scenario() -> Scenario {
@@ -34,118 +27,36 @@ fn main() {
     println!("tool        estimate (Mb/s)      packets   sim-latency   notes");
     println!("--------    -----------------    -------   -----------   -----");
     let truth = 25.0;
+    let config = ToolConfig::default();
 
-    {
+    for entry in registry::all() {
         let mut s = scenario();
-        let mut r = s.runner();
-        let e = DirectProber::new(DirectConfig::canonical()).run(&mut s.sim, &mut r);
+        let mut tool = entry.build(&config);
+        let mut session = s.session();
+        let verdict = session.drive(&mut s.sim, tool.as_mut());
+
+        let estimate = match verdict.range_bps() {
+            Some((lo, hi)) => format!("[{:>5.2}, {:>5.2}]", lo / 1e6, hi / 1e6),
+            None => format!("{:>7.2}", verdict.avail_bps() / 1e6),
+        };
+        let latency = if verdict.elapsed_secs() > 0.0 {
+            format!("{:>8.2} s", verdict.elapsed_secs())
+        } else {
+            "       -  ".to_string()
+        };
         println!(
-            "direct      {:>7.2}              {:>7}   {:>8.2} s   Delphi-style trains, needs Ct",
-            e.avail_bps / 1e6,
-            e.probe_packets,
-            e.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        let e = Delphi::new(DelphiConfig::new(50e6)).run(&mut s.sim, &mut r);
-        println!(
-            "delphi      {:>7.2}              {:>7}   {:>8.2} s   adaptive trains, needs Ct",
-            e.avail_bps / 1e6,
-            e.probe_packets,
-            e.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        let e = Spruce::new(SpruceConfig::new(50e6)).run(&mut s.sim, &mut r);
-        println!(
-            "spruce      {:>7.2}              {:>7}   {:>8.2} s   100 Poisson pairs, needs Ct",
-            e.avail_bps / 1e6,
-            e.probe_packets,
-            e.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        r.stream_gap = SimDuration::from_millis(5);
-        let rep = Topp::new(ToppConfig::default()).run(&mut s.sim, &mut r);
-        let ct = rep
-            .tight_capacity_bps
-            .map(|c| format!("Ct_est {:.1} Mb/s", c / 1e6))
-            .unwrap_or_else(|| "no Ct regression".into());
-        println!(
-            "topp        {:>7.2}              {:>7}        -      linear train sweep; {ct}",
-            rep.avail_bps / 1e6,
-            rep.probe_packets
-        );
-    }
-    {
-        let mut s = scenario();
-        let rep = Pathload::new(PathloadConfig::default()).run(&mut s);
-        println!(
-            "pathload    [{:>5.2}, {:>5.2}]       {:>7}   {:>8.2} s   OWD-trend binary search",
-            rep.range_bps.0 / 1e6,
-            rep.range_bps.1 / 1e6,
-            rep.probe_packets,
-            rep.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        let e = Pathchirp::new(PathchirpConfig::default()).run(&mut s.sim, &mut r);
-        println!(
-            "pathchirp   {:>7.2}              {:>7}   {:>8.2} s   exponential chirps",
-            e.avail_bps / 1e6,
-            e.probe_packets,
-            e.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        let e = Schirp::new(SchirpConfig::default()).run(&mut s.sim, &mut r);
-        println!(
-            "s-chirp     {:>7.2}              {:>7}   {:>8.2} s   smoothed chirps",
-            e.avail_bps / 1e6,
-            e.probe_packets,
-            e.elapsed_secs
-        );
-    }
-    {
-        let mut s = scenario();
-        let mut r = s.runner();
-        let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
-        println!(
-            "igi         {:>7.2}              {:>7}        -      gap model at turning point",
-            rep.igi_bps / 1e6,
-            rep.probe_packets
-        );
-        println!(
-            "ptr         {:>7.2}              {:>7}        -      train rate at turning point",
-            rep.ptr_bps / 1e6,
-            rep.probe_packets
-        );
-    }
-    {
-        let mut s = scenario();
-        let rep = Bfind::new(BfindConfig::default()).run(&mut s);
-        println!(
-            "bfind       {:>7.2}              {:>7}        -      sender-only, locates hop {:?}",
-            rep.avail_bps / 1e6,
-            rep.probe_packets,
-            rep.tight_hop
+            "{:<11} {:<20} {:>7}   {latency}   {}",
+            entry.name,
+            estimate,
+            verdict.probe_packets(),
+            entry.summary
         );
     }
 
     println!("\nground truth A = {truth} Mb/s (50 Mb/s link, 25 Mb/s Poisson cross traffic)");
     println!(
         "Note the spread: tools differ in probing overhead, latency, and in \
-         what they report (mean vs range) — exactly why the paper warns \
-         against naive accuracy comparisons."
+         what they report (mean vs range vs capacity) — exactly why the paper \
+         warns against naive accuracy comparisons."
     );
 }

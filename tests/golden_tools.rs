@@ -3,7 +3,8 @@
 //! `tests/golden/tools_pre_refactor.csv` was generated from the
 //! pre-refactor blocking `run()` implementations (one row per registry
 //! tool and seed, `avail_bps` printed with `{}` so the shortest
-//! round-trip representation pins the exact f64 bits). The test proves
+//! round-trip representation pins the exact f64 bits). The test drives
+//! every tool through the [`registry`] and the session driver, proving
 //! the resumable state-machine rewrite reproduces every estimate and
 //! packet count bit-identically.
 //!
@@ -19,16 +20,7 @@ use std::path::Path;
 
 use abw_netsim::SimDuration;
 use abwe::core::scenario::{CrossKind, Scenario, SingleHopConfig};
-use abwe::core::tools::bfind::{Bfind, BfindConfig};
-use abwe::core::tools::capacity::{CapacityConfig, CapacityProber};
-use abwe::core::tools::delphi::{Delphi, DelphiConfig};
-use abwe::core::tools::direct::{DirectConfig, DirectProber};
-use abwe::core::tools::igi::{Igi, IgiConfig};
-use abwe::core::tools::pathchirp::{Pathchirp, PathchirpConfig};
-use abwe::core::tools::pathload::{Pathload, PathloadConfig};
-use abwe::core::tools::schirp::{Schirp, SchirpConfig};
-use abwe::core::tools::spruce::{Spruce, SpruceConfig};
-use abwe::core::tools::topp::{Topp, ToppConfig};
+use abwe::core::tools::registry::{self, ToolConfig};
 
 const SEEDS: [u64; 3] = [101, 202, 303];
 
@@ -70,132 +62,22 @@ fn check_golden(name: &str, actual: &str) {
 /// packet counts must match the pre-refactor `run()` loops exactly.
 #[test]
 fn state_machines_match_pre_refactor_goldens() {
-    type ToolFn = Box<dyn Fn(&mut Scenario) -> (f64, u64)>;
-    let ct = 50e6;
-    let tools: Vec<(&'static str, ToolFn)> = vec![
-        (
-            "direct",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = DirectProber::new(DirectConfig {
-                    streams: 20,
-                    ..DirectConfig::canonical()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets)
-            }),
-        ),
-        (
-            "delphi",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Delphi::new(DelphiConfig {
-                    trains: 15,
-                    ..DelphiConfig::new(ct)
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets)
-            }),
-        ),
-        (
-            "spruce",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Spruce::new(SpruceConfig {
-                    pairs: 50,
-                    ..SpruceConfig::new(ct)
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets)
-            }),
-        ),
-        (
-            "topp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                r.stream_gap = SimDuration::from_millis(5);
-                let rep = Topp::new(ToppConfig {
-                    step_bps: 3e6,
-                    streams_per_rate: 3,
-                    ..ToppConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (rep.avail_bps, rep.probe_packets)
-            }),
-        ),
-        (
-            "pathload",
-            Box::new(move |s| {
-                let rep = Pathload::new(PathloadConfig::quick()).run(s);
-                (
-                    (rep.range_bps.0 + rep.range_bps.1) / 2.0,
-                    rep.probe_packets,
-                )
-            }),
-        ),
-        (
-            "pathchirp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Pathchirp::new(PathchirpConfig {
-                    chirps: 15,
-                    ..PathchirpConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets)
-            }),
-        ),
-        (
-            "schirp",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let e = Schirp::new(SchirpConfig {
-                    chirps: 15,
-                    ..SchirpConfig::default()
-                })
-                .run(&mut s.sim, &mut r);
-                (e.avail_bps, e.probe_packets)
-            }),
-        ),
-        (
-            "igi",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
-                (rep.igi_bps, rep.probe_packets)
-            }),
-        ),
-        (
-            "ptr",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let rep = Igi::new(IgiConfig::default()).run(&mut s.sim, &mut r);
-                (rep.ptr_bps, rep.probe_packets)
-            }),
-        ),
-        (
-            "bfind",
-            Box::new(move |s| {
-                let rep = Bfind::new(BfindConfig::default()).run(s);
-                (rep.avail_bps, rep.probe_packets)
-            }),
-        ),
-        (
-            "capacity",
-            Box::new(move |s| {
-                let mut r = s.runner();
-                let rep = CapacityProber::new(CapacityConfig::default()).run(&mut s.sim, &mut r);
-                (rep.capacity_bps, rep.probe_packets)
-            }),
-        ),
-    ];
-
+    let config = ToolConfig::quick();
     let mut csv = String::from("tool,seed,avail_bps,probe_packets\n");
-    for (name, tool) in &tools {
+    for entry in registry::all() {
         for &seed in &SEEDS {
             let mut s = fresh(seed);
-            let (avail_bps, probe_packets) = tool(&mut s);
-            writeln!(csv, "{name},{seed},{avail_bps},{probe_packets}").expect("write csv row");
+            let mut tool = entry.build(&config);
+            let mut session = s.session();
+            let verdict = session.drive(&mut s.sim, tool.as_mut());
+            writeln!(
+                csv,
+                "{},{seed},{},{}",
+                entry.name,
+                verdict.avail_bps(),
+                verdict.probe_packets()
+            )
+            .expect("write csv row");
         }
     }
     check_golden("tools_pre_refactor.csv", &csv);

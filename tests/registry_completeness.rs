@@ -1,0 +1,97 @@
+//! The registry must stay in lockstep with the `tools/` directory: a
+//! new estimator module that forgets its registry entry silently drops
+//! out of the shootout, the golden pin, the tracking experiment and the
+//! examples. This test enumerates the source tree at run time, so adding
+//! `tools/foo.rs` without registering it fails CI.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use abwe::core::tools::registry::{self, ToolConfig};
+use abwe::core::tools::Action;
+
+/// The module stems under `crates/core/src/tools/` that implement
+/// estimators (everything except the trait/driver plumbing).
+fn estimator_modules() -> BTreeSet<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src/tools");
+    std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .expect("rs file has a stem")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .filter(|stem| stem != "mod" && stem != "registry")
+        .collect()
+}
+
+#[test]
+fn every_tool_module_has_a_registry_entry() {
+    let modules = estimator_modules();
+    assert!(!modules.is_empty(), "tools/ directory not found");
+    let registered: BTreeSet<String> = registry::all()
+        .iter()
+        .map(|e| e.module.to_string())
+        .collect();
+    for module in &modules {
+        assert!(
+            registered.contains(module),
+            "tools/{module}.rs has no registry entry — add it to \
+             `registry::TOOLS` so the shootout, golden pin and tracking \
+             experiment cover it"
+        );
+    }
+    for module in &registered {
+        assert!(
+            modules.contains(module),
+            "registry entry points at tools/{module}.rs, which does not exist"
+        );
+    }
+}
+
+#[test]
+fn names_are_unique_and_kebab_case() {
+    let mut seen = BTreeSet::new();
+    for entry in registry::all() {
+        assert!(
+            seen.insert(entry.name),
+            "duplicate registry name `{}`",
+            entry.name
+        );
+        assert!(
+            !entry.name.is_empty()
+                && entry
+                    .name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                && !entry.name.starts_with('-')
+                && !entry.name.ends_with('-'),
+            "registry name `{}` is not kebab-case",
+            entry.name
+        );
+        assert!(!entry.summary.is_empty(), "`{}` has no summary", entry.name);
+        assert!(
+            !entry.paper_section.is_empty(),
+            "`{}` has no paper section",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn find_round_trips_every_name_into_a_working_estimator() {
+    for entry in registry::all() {
+        let found = registry::find(entry.name)
+            .unwrap_or_else(|| panic!("find(`{}`) returned None", entry.name));
+        assert!(std::ptr::eq(found, entry));
+        let mut tool = found.build(&ToolConfig::quick());
+        assert!(
+            matches!(tool.next(None), Action::Send(_)),
+            "`{}` must start by probing",
+            entry.name
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //! result-to-[`Table`] conversion lives here rather than in each
 //! binary's `main`.
 
+use abw_core::experiments::loss_sweep::LossSweepResult;
 use abw_core::experiments::pairs_vs_trains::PairsVsTrainsResult;
 use abw_core::experiments::shootout::ShootoutResult;
 use abw_core::experiments::tracking::TrackingResult;
@@ -25,6 +26,35 @@ pub fn shootout_table(result: &ShootoutResult) -> Table {
     for r in &result.rows {
         t.row(vec![
             r.tool.to_string(),
+            f(r.mean_mbps, 2),
+            f(r.bias_mbps, 2),
+            f(r.sd_mbps, 2),
+            f(r.mean_packets, 0),
+            f(r.mean_latency_secs, 2),
+        ]);
+    }
+    t
+}
+
+/// The loss-sweep table: one row per (tool, injected loss rate), with
+/// the per-tool truth, mean/bias/spread in Mb/s, probing overhead in
+/// packets, and latency in seconds.
+pub fn loss_sweep_table(result: &LossSweepResult) -> Table {
+    let mut t = Table::new(vec![
+        "tool",
+        "loss_pct",
+        "truth_Mbps",
+        "mean_Mbps",
+        "bias_Mbps",
+        "sd_Mbps",
+        "packets",
+        "latency_s",
+    ]);
+    for r in &result.rows {
+        t.row(vec![
+            r.tool.to_string(),
+            f(r.loss * 100.0, 1),
+            f(r.truth_mbps, 2),
             f(r.mean_mbps, 2),
             f(r.bias_mbps, 2),
             f(r.sd_mbps, 2),

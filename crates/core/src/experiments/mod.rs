@@ -7,6 +7,7 @@
 
 pub mod burstiness;
 pub mod latency_accuracy;
+pub mod loss_sweep;
 pub mod multi_bottleneck;
 pub mod owd_vs_rate;
 pub mod pairs_vs_trains;

@@ -163,14 +163,20 @@ impl StreamResult {
         self.records.len()
     }
 
-    /// Packets lost.
+    /// Packets lost. Saturating: duplicate records (e.g. from a
+    /// misbehaving path) can make `received > sent`, which counts as
+    /// zero lost rather than underflowing.
     pub fn lost(&self) -> usize {
-        self.spec.count() as usize - self.records.len()
+        (self.spec.count() as usize).saturating_sub(self.records.len())
     }
 
-    /// Loss fraction in `[0, 1]`.
+    /// Loss fraction in `[0, 1]`; zero for an empty spec (never NaN).
     pub fn loss_fraction(&self) -> f64 {
-        self.lost() as f64 / self.spec.count() as f64
+        let count = self.spec.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.lost() as f64 / count as f64
     }
 
     /// One-way delays (seconds) of the received packets, in sequence
@@ -197,14 +203,20 @@ impl StreamResult {
     }
 
     /// Measured output rate `Ro` in bits/s: `(n-1) * L * 8 / span` over
-    /// the received packets. `None` with fewer than 2 arrivals.
+    /// the received packets. `None` with fewer than 2 arrivals or a
+    /// zero-length span.
+    ///
+    /// The span is the min-to-max arrival time, **not** first-to-last of
+    /// the sequence-sorted records: under reordering the last sequence
+    /// number can arrive before the first, which would make a
+    /// sequence-based span negative and silently discard the stream.
     pub fn output_rate_bps(&self) -> Option<f64> {
         if self.records.len() < 2 {
             return None;
         }
-        let first = self.records.first().expect("non-empty");
-        let last = self.records.last().expect("non-empty");
-        let span = last.recv_at.since(first.recv_at).as_secs_f64();
+        let first_ns = self.records.iter().map(|r| r.recv_at).min()?;
+        let last_ns = self.records.iter().map(|r| r.recv_at).max()?;
+        let span = last_ns.since(first_ns).as_secs_f64();
         if span <= 0.0 {
             return None;
         }
@@ -277,10 +289,13 @@ impl ProbeRunner {
 
         let expected = spec.count() as usize;
         let deadline = launch_at + spec.duration() + self.drain_timeout;
-        // advance in slices so we can stop as soon as the stream is in
+        // advance in slices so we can stop as soon as the stream is in;
+        // the final slice is clamped so a lossy stream costs exactly the
+        // drain timeout, never a slice more
         let slice = SimDuration::from_millis(5);
         while sim.now() < deadline {
-            sim.run_for(slice);
+            let step = slice.min(deadline.since(sim.now()));
+            sim.run_for(step);
             if sim.agent::<ProbeReceiver>(self.receiver).received(id) >= expected {
                 break;
             }
@@ -716,6 +731,111 @@ mod tests {
         let (g_in, g_out) = gaps[0];
         assert!((g_in - 120e-6).abs() < 1e-9);
         assert!((g_out - 240e-6).abs() < 1e-9, "output gap {g_out}");
+    }
+
+    fn record(seq: u32, sent_ns: u64, recv_ns: u64) -> ProbeRecord {
+        ProbeRecord {
+            seq,
+            sent_at: SimTime::from_nanos(sent_ns),
+            recv_at: SimTime::from_nanos(recv_ns),
+        }
+    }
+
+    #[test]
+    fn lost_saturates_on_duplicate_records() {
+        // 3 records against a 2-packet pair spec: a duplicated arrival
+        // must read as 0 lost, not underflow
+        let r = StreamResult {
+            spec: StreamSpec::Pair {
+                rate_bps: 10e6,
+                size: 1500,
+            },
+            stream_id: 0,
+            records: vec![
+                record(0, 0, 1_000),
+                record(1, 500, 1_500),
+                record(1, 500, 1_500),
+            ],
+        };
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn loss_fraction_of_empty_spec_is_zero_not_nan() {
+        let r = StreamResult {
+            spec: StreamSpec::Periodic {
+                rate_bps: 10e6,
+                size: 1500,
+                count: 0,
+            },
+            stream_id: 0,
+            records: Vec::new(),
+        };
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.loss_fraction(), 0.0);
+        assert!(!r.loss_fraction().is_nan());
+    }
+
+    #[test]
+    fn output_rate_survives_reordered_records() {
+        // records are sequence-sorted, but seq 0 arrived LAST: the
+        // arrival span must come from min/max recv_at, not first/last
+        let spec = StreamSpec::Periodic {
+            rate_bps: 12e6,
+            size: 1500,
+            count: 3,
+        };
+        let reordered = StreamResult {
+            spec: spec.clone(),
+            stream_id: 0,
+            records: vec![
+                record(0, 0, 3_000_000),
+                record(1, 1_000_000, 2_000_000),
+                record(2, 2_000_000, 2_500_000),
+            ],
+        };
+        let ro = reordered
+            .output_rate_bps()
+            .expect("reordering must not erase the rate");
+        // span = 3 ms - 2 ms = 1 ms, 2 gaps of 1500 B => 24 Mb/s
+        assert!((ro - 24e6).abs() < 1.0, "Ro = {ro}");
+        // and an in-order stream with the same span agrees
+        let in_order = StreamResult {
+            spec,
+            stream_id: 1,
+            records: vec![
+                record(0, 0, 2_000_000),
+                record(1, 1_000_000, 2_500_000),
+                record(2, 2_000_000, 3_000_000),
+            ],
+        };
+        assert!((in_order.output_rate_bps().unwrap() - ro).abs() < 1.0);
+    }
+
+    #[test]
+    fn lossy_stream_drains_for_exactly_the_timeout() {
+        // total loss: the runner must give up exactly at
+        // launch + stream duration + drain timeout, not a slice later
+        let mut sim = Simulator::new();
+        let link = sim.add_link(LinkConfig::new(50e6, SimDuration::from_millis(2)));
+        sim.impair_link(link, abw_netsim::ImpairmentConfig::iid_loss(1.0), 3);
+        let path = sim.add_path(vec![link]);
+        let receiver = sim.add_agent(Box::new(ProbeReceiver::new()));
+        let sender = sim.add_agent(Box::new(ProbeSender::new(path, receiver, FlowId(0))));
+        let mut runner = ProbeRunner::new(sender, receiver);
+        let spec = StreamSpec::Periodic {
+            rate_bps: 20e6,
+            size: 1500,
+            count: 10,
+        };
+        let t0 = sim.now();
+        let r = runner.run_stream(&mut sim, &spec);
+        assert_eq!(r.received(), 0);
+        assert_eq!(r.lost(), 10);
+        assert_eq!(r.loss_fraction(), 1.0);
+        let deadline = t0 + runner.stream_gap + spec.duration() + runner.drain_timeout;
+        assert_eq!(sim.now(), deadline, "run_stream overran its drain deadline");
     }
 
     #[test]

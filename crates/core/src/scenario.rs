@@ -8,7 +8,8 @@
 //! against one object.
 
 use abw_netsim::{
-    AgentId, CountingSink, FlowId, LinkConfig, LinkId, PathId, SimDuration, SimTime, Simulator,
+    AgentId, CountingSink, FlowId, ImpairmentConfig, LinkConfig, LinkId, PathId, SimDuration,
+    SimTime, Simulator,
 };
 use abw_trace::AvailBw;
 use abw_traffic::{
@@ -47,6 +48,11 @@ pub struct HopSpec {
     /// Queue bound in bytes (`None` = unbounded, the default for probing
     /// experiments so losses do not confound estimates).
     pub queue_bytes: Option<u64>,
+    /// Injected faults on this hop's link (`None` = pristine, the
+    /// default). The impairment RNG stream is derived from the scenario
+    /// seed and the hop index, independently of the cross-traffic
+    /// streams.
+    pub impairment: Option<ImpairmentConfig>,
 }
 
 impl HopSpec {
@@ -60,7 +66,23 @@ impl HopSpec {
             cross_sizes: SizeDist::Constant(1500),
             prop_delay: SimDuration::from_millis(1),
             queue_bytes: None,
+            impairment: None,
         }
+    }
+
+    /// Attaches an impairment pipeline to this hop's link.
+    pub fn with_impairment(mut self, config: ImpairmentConfig) -> Self {
+        self.impairment = Some(config);
+        self
+    }
+
+    /// Attaches an impairment parsed from a kebab-case spec string
+    /// (e.g. `"loss=0.01, jitter=500us"`); see
+    /// [`ImpairmentConfig::parse`]. Panics on a malformed spec.
+    pub fn with_impairment_spec(self, spec: &str) -> Self {
+        let config = ImpairmentConfig::parse(spec)
+            .unwrap_or_else(|e| panic!("bad impairment spec `{spec}`: {e}"));
+        self.with_impairment(config)
     }
 
     /// The configured avail-bw of this hop.
@@ -82,6 +104,8 @@ pub struct SingleHopConfig {
     pub cross_sizes: SizeDist,
     /// Propagation delay (default 1 ms).
     pub prop_delay: SimDuration,
+    /// Injected faults on the hop's link (default none).
+    pub impairment: Option<ImpairmentConfig>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -94,6 +118,7 @@ impl Default for SingleHopConfig {
             cross: CrossKind::Poisson,
             cross_sizes: SizeDist::Constant(1500),
             prop_delay: SimDuration::from_millis(1),
+            impairment: None,
             seed: 0xD0C5,
         }
     }
@@ -143,6 +168,17 @@ impl Scenario {
             FlowId(u32::MAX),
         )));
 
+        // injected faults: each impaired link gets its own RNG stream,
+        // derived from the scenario seed and hop index with a different
+        // mix than the cross-traffic seeds so the streams never collide
+        for (i, hop) in hops.iter().enumerate() {
+            if let Some(config) = &hop.impairment {
+                if !config.is_noop() {
+                    sim.impair_link(links[i], config.clone(), impairment_seed(seed, i));
+                }
+            }
+        }
+
         // one-hop persistent cross traffic: a dedicated single-link path
         // and sink per hop
         let mut cross_sources = Vec::with_capacity(hops.len());
@@ -185,6 +221,7 @@ impl Scenario {
             cross_sizes: cfg.cross_sizes.clone(),
             prop_delay: cfg.prop_delay,
             queue_bytes: None,
+            impairment: cfg.impairment.clone(),
         };
         Scenario::from_hops(vec![hop], cfg.seed)
     }
@@ -210,6 +247,7 @@ impl Scenario {
             cross_sizes: SizeDist::Constant(1500),
             prop_delay: SimDuration::from_millis(1),
             queue_bytes: None,
+            impairment: None,
         };
         // constant MTU-sized cross packets keep the dispersion histogram
         // cleanly multi-modal, as in the bprobe/pathrate evaluations
@@ -220,6 +258,7 @@ impl Scenario {
             cross_sizes: SizeDist::Constant(1500),
             prop_delay: SimDuration::from_millis(1),
             queue_bytes: None,
+            impairment: None,
         };
         Scenario::from_hops(vec![narrow, tight], seed)
     }
@@ -262,6 +301,17 @@ impl Scenario {
             self.hops[hop].cross_rate_bps = rate_bps;
         }
         changed
+    }
+
+    /// Installs an impairment on hop `i`'s link of an already-built
+    /// scenario, seeding its RNG stream exactly as
+    /// [`Scenario::from_hops`] would with `seed` — so building with the
+    /// impairment in the [`HopSpec`] and attaching it afterwards (before
+    /// any traffic crosses the link) are bit-identical.
+    pub fn impair_hop(&mut self, hop: usize, config: ImpairmentConfig, seed: u64) {
+        self.hops[hop].impairment = Some(config.clone());
+        self.sim
+            .impair_link(self.links[hop], config, impairment_seed(seed, hop));
     }
 
     /// Configured end-to-end avail-bw: `min` over hops (Equation 3).
@@ -312,6 +362,14 @@ impl Scenario {
             .map(|&l| AvailBw::from_link(self.sim.link(l), a, b).mean())
             .fold(f64::INFINITY, f64::min)
     }
+}
+
+/// Per-hop impairment RNG seed: the scenario seed and hop index mixed
+/// with a constant offset so the stream differs from the cross-traffic
+/// stream of the same hop (`seed + i` mixed without the offset).
+fn impairment_seed(seed: u64, hop: usize) -> u64 {
+    seed.wrapping_add(0xFA17_0000 + hop as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15)
 }
 
 fn make_process(hop: &HopSpec, seed: u64) -> Box<dyn ArrivalProcess> {
@@ -421,6 +479,52 @@ mod tests {
         // tight link avail = 55.52 < narrow link avail = 100
         assert!((s.configured_avail_bps() - 55.52e6).abs() < 1.0);
         assert_eq!(s.tight_hop().0, 1);
+    }
+
+    #[test]
+    fn impaired_hop_loses_cross_traffic_deterministically() {
+        let build = || {
+            let mut s = Scenario::single_hop(&SingleHopConfig {
+                impairment: Some(ImpairmentConfig::iid_loss(0.05)),
+                ..SingleHopConfig::default()
+            });
+            s.warm_up(SimDuration::from_secs(2));
+            s
+        };
+        let a = build();
+        let b = build();
+        let lost = a.sim.link(a.links[0]).counters().impaired_pkts;
+        assert!(lost > 0, "5% loss over 2 s of 25 Mb/s cross traffic");
+        assert_eq!(
+            lost,
+            b.sim.link(b.links[0]).counters().impaired_pkts,
+            "same seed must lose the same packets"
+        );
+    }
+
+    #[test]
+    fn impair_hop_matches_building_with_the_spec() {
+        let cfg = ImpairmentConfig::iid_loss(0.02);
+        let mut built = Scenario::single_hop(&SingleHopConfig {
+            impairment: Some(cfg.clone()),
+            ..SingleHopConfig::default()
+        });
+        let mut attached = Scenario::single_hop(&SingleHopConfig::default());
+        attached.impair_hop(0, cfg, SingleHopConfig::default().seed);
+        built.warm_up(SimDuration::from_secs(1));
+        attached.warm_up(SimDuration::from_secs(1));
+        assert_eq!(
+            built.sim.link(built.links[0]).counters(),
+            attached.sim.link(attached.links[0]).counters(),
+        );
+    }
+
+    #[test]
+    fn pristine_scenario_has_no_impairment_state() {
+        let mut s = Scenario::single_hop(&SingleHopConfig::default());
+        s.warm_up(SimDuration::from_secs(1));
+        assert!(s.sim.link(s.links[0]).impairment().is_none());
+        assert_eq!(s.sim.total_impaired(), 0);
     }
 
     #[test]

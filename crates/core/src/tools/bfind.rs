@@ -241,6 +241,7 @@ mod tests {
             cross_sizes: SizeDist::Constant(1500),
             prop_delay: SimDuration::from_millis(1),
             queue_bytes: None,
+            impairment: None,
         };
         let mut s = Scenario::from_hops(vec![mk(5e6), mk(30e6), mk(5e6)], 11);
         s.warm_up(SimDuration::from_millis(300));

@@ -78,30 +78,37 @@ impl Pathchirp {
             return None;
         }
         let owds = result.relative_owds();
-        // pair k = packets (k, k+1); its probing rate from the send gaps
-        let rates: Vec<f64> = result
-            .pair_gaps()
-            .iter()
-            .map(|&(g_in, _)| self.config.packet_size as f64 * 8.0 / g_in)
+        // pair k = adjacent received packets with consecutive seqs: the
+        // probing rate from the pair's send gap, the queueing-delay
+        // signature from the relative OWD of the pair's second packet.
+        // Pairing the two by record position keeps them aligned when
+        // loss punches holes in the chirp — a raw `owds[1..]` drifts
+        // one slot per lost packet.
+        let pairs: Vec<(f64, f64)> = result
+            .records
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[1].seq == w[0].seq + 1)
+            .map(|(i, w)| {
+                let g_in = w[1].sent_at.since(w[0].sent_at).as_secs_f64();
+                (self.config.packet_size as f64 * 8.0 / g_in, owds[i + 1])
+            })
             .collect();
-        if rates.is_empty() {
+        if pairs.is_empty() {
             return None;
         }
-        // queueing delay signature: q_k = relative OWD of packet k+1
-        let q: Vec<f64> = owds[1..].to_vec();
-        debug_assert_eq!(q.len(), rates.len());
 
         // last start of a run that stays above the threshold to the end
         let mut j_star = None;
-        let mut k = q.len();
-        while k > 0 && q[k - 1] > self.config.delay_threshold {
+        let mut k = pairs.len();
+        while k > 0 && pairs[k - 1].1 > self.config.delay_threshold {
             k -= 1;
             j_star = Some(k);
         }
         match j_star {
-            Some(j) => Some(rates[j]),
+            Some(j) => Some(pairs[j].0),
             // never overloaded: avail-bw is at least the top probed rate
-            None => rates.last().copied(),
+            None => pairs.last().map(|p| p.0),
         }
     }
 
@@ -239,6 +246,42 @@ mod tests {
             est.avail_bps / 1e6,
             top_rate / 1e6
         );
+    }
+
+    #[test]
+    fn lossy_chirp_still_yields_an_estimate() {
+        // A chirp with holes (lost seqs 3 and 7) has fewer consecutive
+        // pairs than received packets; the excursion analysis must keep
+        // rates and delays aligned and not panic on the mismatch.
+        use crate::probe::{ProbeRecord, StreamResult};
+        use crate::stream::StreamSpec;
+        use abw_netsim::SimTime;
+
+        let cfg = PathchirpConfig::default();
+        let spec = StreamSpec::Chirp {
+            start_rate_bps: cfg.start_rate_bps,
+            gamma: cfg.gamma,
+            size: cfg.packet_size,
+            count: 12,
+        };
+        let records: Vec<ProbeRecord> = (0u32..12)
+            .filter(|s| *s != 3 && *s != 7)
+            .map(|seq| ProbeRecord {
+                seq,
+                sent_at: SimTime::from_nanos(seq as u64 * 1_000_000),
+                // delays ramp up late in the chirp, as under overload
+                recv_at: SimTime::from_nanos(
+                    seq as u64 * 1_000_000 + 500_000 + (seq as u64).pow(2) * 20_000,
+                ),
+            })
+            .collect();
+        let result = StreamResult {
+            stream_id: 0,
+            spec,
+            records,
+        };
+        let est = Pathchirp::new(cfg).chirp_estimate(&result);
+        assert!(est.is_some_and(|e| e > 0.0), "estimate {est:?}");
     }
 
     #[test]

@@ -12,10 +12,9 @@
 //!    estimate, because the avail-bw process moves while the iteration
 //!    runs (Fallacy 9).
 
-use abw_netsim::Simulator;
 use abw_stats::trend::{TrendAnalyzer, TrendVerdict};
 
-use crate::probe::{ProbeRunner, Session, StreamResult};
+use crate::probe::StreamResult;
 use crate::stream::StreamSpec;
 use crate::tools::{Action, Estimator, Observation, ProbeSpec, RangeEstimate, ToolEvent, Verdict};
 
@@ -148,32 +147,6 @@ impl Pathload {
             packets: 0,
             fleet: None,
             events: Vec::new(),
-        }
-    }
-
-    /// Sends one fleet at `rate` and votes on the OWD trends.
-    #[deprecated(note = "drive a `Pathload::estimator()` through `Session` instead")]
-    pub fn run_fleet(
-        &self,
-        sim: &mut Simulator,
-        runner: &mut ProbeRunner,
-        rate_bps: f64,
-    ) -> (FleetVerdict, f64, u64) {
-        let mut fleet = FleetMachine::new(rate_bps);
-        while let Some(spec) = fleet.next_spec(&self.config) {
-            let result = runner.run_stream(sim, &spec);
-            fleet.observe(&result, &self.config);
-        }
-        fleet.tally(&self.config)
-    }
-
-    /// Runs against an explicit simulator/runner pair.
-    #[deprecated(note = "drive a `Pathload::estimator()` through `Session` instead")]
-    pub fn run_with(&self, sim: &mut Simulator, runner: &mut ProbeRunner) -> PathloadReport {
-        let mut tool = self.estimator();
-        match Session::over(runner).drive(sim, &mut tool) {
-            Verdict::Pathload(r) => r,
-            _ => unreachable!("Pathload yields a Pathload report"),
         }
     }
 }
@@ -387,14 +360,29 @@ mod tests {
         );
     }
 
+    /// Runs one fleet at `rate_bps` by driving the internal
+    /// [`FleetMachine`] directly against the scenario's runner.
+    fn run_one_fleet(
+        s: &mut Scenario,
+        runner: &mut crate::probe::ProbeRunner,
+        config: &PathloadConfig,
+        rate_bps: f64,
+    ) -> (FleetVerdict, f64, u64) {
+        let mut fleet = FleetMachine::new(rate_bps);
+        while let Some(spec) = fleet.next_spec(config) {
+            let result = runner.run_stream(&mut s.sim, &spec);
+            fleet.observe(&result, config);
+        }
+        fleet.tally(config)
+    }
+
     #[test]
-    #[allow(deprecated)]
     fn fleet_verdicts_flip_across_the_avail_bw() {
         let mut s = scenario(CrossKind::Cbr);
-        let pl = Pathload::new(PathloadConfig::quick());
+        let config = PathloadConfig::quick();
         let mut runner = s.runner();
-        let (below, frac_b, _) = pl.run_fleet(&mut s.sim, &mut runner, 15e6);
-        let (above, frac_a, _) = pl.run_fleet(&mut s.sim, &mut runner, 40e6);
+        let (below, frac_b, _) = run_one_fleet(&mut s, &mut runner, &config, 15e6);
+        let (above, frac_a, _) = run_one_fleet(&mut s, &mut runner, &config, 40e6);
         assert_eq!(below, FleetVerdict::Below, "15 Mb/s fraction {frac_b}");
         assert_eq!(above, FleetVerdict::Above, "40 Mb/s fraction {frac_a}");
     }

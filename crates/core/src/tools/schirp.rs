@@ -84,15 +84,23 @@ impl Schirp {
             return None;
         }
         let owds = result.relative_owds();
-        let rates: Vec<f64> = result
-            .pair_gaps()
-            .iter()
-            .map(|&(g_in, _)| self.config.packet_size as f64 * 8.0 / g_in)
-            .collect();
+        // per-pair (rate, delay) aligned by record position, so loss in
+        // the chirp cannot shift the delay series against the rates
+        // (see the same construction in pathChirp)
+        let (rates, q_raw): (Vec<f64>, Vec<f64>) = result
+            .records
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[1].seq == w[0].seq + 1)
+            .map(|(i, w)| {
+                let g_in = w[1].sent_at.since(w[0].sent_at).as_secs_f64();
+                (self.config.packet_size as f64 * 8.0 / g_in, owds[i + 1])
+            })
+            .unzip();
         if rates.is_empty() {
             return None;
         }
-        let q = self.smooth(&owds[1..]);
+        let q = self.smooth(&q_raw);
 
         // onset: the last index from which the smoothed delays increase
         // by at least the threshold per pair, through to the chirp's end

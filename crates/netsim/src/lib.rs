@@ -12,7 +12,10 @@
 //! * an [`agent::Agent`] trait for traffic sources, sinks, probing
 //!   endpoints and TCP,
 //! * exact busy-period recording per link, from which `abw-trace` computes
-//!   the ground-truth available bandwidth process `A_tau(t)`.
+//!   the ground-truth available bandwidth process `A_tau(t)`,
+//! * per-link fault injection ([`impair::Impairment`]): i.i.d. and
+//!   Gilbert–Elliott loss, bounded reordering, jitter, and scheduled
+//!   capacity flaps — each driven by its own seeded RNG stream.
 //!
 //! Determinism: time is integer nanoseconds, event ties break in insertion
 //! order, and all randomness lives in agents that own seeded RNGs; a run is
@@ -34,6 +37,7 @@
 
 pub mod agent;
 pub mod event;
+pub mod impair;
 pub mod invariants;
 pub mod link;
 pub mod packet;
@@ -41,6 +45,7 @@ pub mod sim;
 pub mod time;
 
 pub use agent::{packet_to, Agent, CountingSink, Ctx};
+pub use impair::{Impairment, ImpairmentConfig, LossModel, ReorderSpec};
 pub use link::{BusyLog, Link, LinkConfig, LinkCounters};
 pub use packet::{AgentId, FlowId, LinkId, Packet, PacketKind, PathId, DEFAULT_TTL};
 pub use sim::{SimCounters, Simulator};

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 use abw_obs::manifest::LinkSnapshot;
 use abw_obs::metrics::LogLinearHistogram;
 
+use crate::impair::{Impairment, ImpairmentConfig, IngressDecision};
 use crate::invariants::invariant;
 use crate::packet::Packet;
 use crate::time::{transmission_time, SimDuration, SimTime};
@@ -75,6 +76,10 @@ pub struct LinkCounters {
     pub dropped_pkts: u64,
     /// Bytes dropped at the queue tail.
     pub dropped_bytes: u64,
+    /// Packets lost to an injected impairment (never entered the queue).
+    pub impaired_pkts: u64,
+    /// Bytes lost to an injected impairment.
+    pub impaired_bytes: u64,
 }
 
 /// Merged busy intervals of a link: `(start, end)` pairs in nanoseconds,
@@ -120,6 +125,9 @@ pub enum EnqueueOutcome {
     Accepted { starts_service: bool },
     /// The queue was full; the packet was dropped.
     Dropped,
+    /// An injected impairment lost the packet before it reached the
+    /// queue (it never occupied buffer space).
+    Impaired,
 }
 
 /// A store-and-forward link.
@@ -143,6 +151,17 @@ pub struct Link {
     /// owning simulator has a recorder installed, so the untraced hot
     /// path never pays for it.
     depth_hist: Option<Box<LogLinearHistogram>>,
+    /// Injected-fault pipeline, if any (loss/reorder/jitter/flaps).
+    impairment: Option<Box<Impairment>>,
+    /// Capacity the in-flight (or most recent) transmission was started
+    /// at. Differs from `config.capacity_bps` only under rate flaps; the
+    /// busy-period invariant must use the rate the packet was actually
+    /// serialised at.
+    tx_capacity_bps: f64,
+    /// Set when a transmission starts at a different rate than the
+    /// previous one (a flap took effect); consumed by the simulator to
+    /// emit a `link.flap` event.
+    flap_pending: Option<f64>,
 }
 
 impl Link {
@@ -159,7 +178,47 @@ impl Link {
             accepted_pkts: 0,
             peak_queue_pkts: 0,
             depth_hist: None,
+            impairment: None,
+            tx_capacity_bps: config.capacity_bps,
+            flap_pending: None,
         }
+    }
+
+    /// Installs an impairment pipeline, replacing any existing one.
+    /// `seed` drives this link's private RNG stream, so the decision
+    /// sequence is a pure function of `(config, seed)`.
+    pub fn set_impairment(&mut self, config: ImpairmentConfig, seed: u64) {
+        self.impairment = Some(Box::new(Impairment::new(config, seed)));
+    }
+
+    /// The installed impairment pipeline, if any.
+    pub fn impairment(&self) -> Option<&Impairment> {
+        self.impairment.as_deref()
+    }
+
+    /// Extra egress delay (reorder hold + jitter) for the packet that
+    /// just finished transmission. Advances the impairment RNG by one
+    /// egress decision; zero when no impairment is installed.
+    pub fn egress_extra(&mut self) -> SimDuration {
+        self.impairment
+            .as_deref_mut()
+            .map_or(SimDuration::ZERO, Impairment::egress_extra)
+    }
+
+    /// The capacity the link would serialise a packet at right now:
+    /// the base capacity, overridden by the active rate flap if any.
+    pub fn effective_capacity_bps(&self, now: SimTime) -> f64 {
+        self.impairment
+            .as_deref()
+            .map_or(self.config.capacity_bps, |i| {
+                i.capacity_at(now, self.config.capacity_bps)
+            })
+    }
+
+    /// Returns the new rate once after a rate flap takes effect at a
+    /// transmission start (consumed by the simulator's event emission).
+    pub fn take_flap_event(&mut self) -> Option<f64> {
+        self.flap_pending.take()
     }
 
     /// Link configuration.
@@ -216,6 +275,8 @@ impl Link {
             forwarded_bytes: self.counters.forwarded_bytes,
             dropped_pkts: self.counters.dropped_pkts,
             dropped_bytes: self.counters.dropped_bytes,
+            impaired_pkts: self.counters.impaired_pkts,
+            impaired_bytes: self.counters.impaired_bytes,
             peak_queue_pkts: self.peak_queue_pkts,
             queue_depth_summary: self
                 .depth_hist
@@ -245,6 +306,13 @@ impl Link {
     /// On `Accepted { starts_service: true }` the caller must immediately
     /// call [`Link::start_transmission`] and schedule its completion.
     pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> EnqueueOutcome {
+        if let Some(imp) = self.impairment.as_deref_mut() {
+            if imp.ingress() == IngressDecision::Lose {
+                self.counters.impaired_pkts += 1;
+                self.counters.impaired_bytes += packet.size as u64;
+                return EnqueueOutcome::Impaired;
+            }
+        }
         if let Some(limit) = self.config.queue_bytes {
             // The byte bound applies once the system holds a packet; an idle
             // link always accepts, so a packet larger than the bound can
@@ -282,7 +350,12 @@ impl Link {
             .expect("start_transmission on empty queue");
         self.transmitting = true;
         self.tx_started_at = now;
-        now + transmission_time(head.size, self.config.capacity_bps)
+        let effective = self.effective_capacity_bps(now);
+        if effective != self.tx_capacity_bps {
+            self.flap_pending = Some(effective);
+        }
+        self.tx_capacity_bps = effective;
+        now + transmission_time(head.size, effective)
     }
 
     /// Completes the in-progress transmission at `now`, returning the
@@ -301,13 +374,13 @@ impl Link {
         invariant!(
             now >= self.tx_started_at
                 && now.since(self.tx_started_at)
-                    == transmission_time(packet.size, self.config.capacity_bps),
+                    == transmission_time(packet.size, self.tx_capacity_bps),
             "link busy-period bookkeeping: tx of {} B started at {} but finished at {} \
              (capacity {} b/s)",
             packet.size,
             self.tx_started_at,
             now,
-            self.config.capacity_bps
+            self.tx_capacity_bps
         );
         invariant!(
             self.queued_bytes >= packet.size as u64,
@@ -352,17 +425,19 @@ impl Link {
     /// remaining service time of the packet on the wire plus serialisation
     /// of everything queued behind it.
     pub fn queueing_delay(&self, now: SimTime) -> SimDuration {
+        let rate = self.effective_capacity_bps(now);
         let mut ns = 0u64;
         if self.transmitting {
             let head = self.queue.front().expect("transmitting without head");
-            let done = self.tx_started_at + transmission_time(head.size, self.config.capacity_bps);
+            // the in-flight packet drains at the rate it was started at
+            let done = self.tx_started_at + transmission_time(head.size, self.tx_capacity_bps);
             ns += done.saturating_since(now).as_nanos();
             for p in self.queue.iter().skip(1) {
-                ns += transmission_time(p.size, self.config.capacity_bps).as_nanos();
+                ns += transmission_time(p.size, rate).as_nanos();
             }
         } else {
             for p in self.queue.iter() {
-                ns += transmission_time(p.size, self.config.capacity_bps).as_nanos();
+                ns += transmission_time(p.size, rate).as_nanos();
             }
         }
         SimDuration::from_nanos(ns)
@@ -497,5 +572,46 @@ mod tests {
         l.enqueue(pkt(100), SimTime::ZERO);
         l.start_transmission(SimTime::ZERO);
         l.start_transmission(SimTime::ZERO);
+    }
+
+    #[test]
+    fn impairment_loss_bypasses_queue() {
+        let mut l = test_link();
+        l.set_impairment(ImpairmentConfig::iid_loss(1.0), 1);
+        assert_eq!(
+            l.enqueue(pkt(1500), SimTime::ZERO),
+            EnqueueOutcome::Impaired
+        );
+        let c = l.counters();
+        assert_eq!(c.impaired_pkts, 1);
+        assert_eq!(c.impaired_bytes, 1500);
+        assert_eq!(c.dropped_pkts, 0, "impairment loss is not a queue drop");
+        assert_eq!(l.queue_len(), 0, "lost packet never occupies the queue");
+    }
+
+    #[test]
+    fn capacity_flap_changes_service_time() {
+        // base 12 Mb/s (1500 B = 1 ms), flapped to 6 Mb/s at t = 10 ms
+        let mut l = test_link();
+        l.set_impairment(
+            ImpairmentConfig::none().with_flap(SimTime::from_nanos(10_000_000), 6e6),
+            0,
+        );
+        let t0 = SimTime::ZERO;
+        l.enqueue(pkt(1500), t0);
+        let done = l.start_transmission(t0);
+        assert_eq!(done.since(t0), SimDuration::from_millis(1));
+        assert!(l.take_flap_event().is_none(), "rate unchanged before flap");
+        l.finish_transmission(done);
+
+        let t1 = SimTime::from_nanos(20_000_000);
+        l.enqueue(pkt(1500), t1);
+        let done = l.start_transmission(t1);
+        assert_eq!(done.since(t1), SimDuration::from_millis(2), "half rate");
+        assert_eq!(l.take_flap_event(), Some(6e6));
+        assert!(l.take_flap_event().is_none(), "flap event is one-shot");
+        // busy-period invariant must hold at the flapped rate
+        crate::invariants::arm();
+        l.finish_transmission(done);
     }
 }

@@ -29,6 +29,11 @@ pub struct LinkSnapshot {
     pub dropped_pkts: u64,
     /// Bytes dropped at the tail of a full queue.
     pub dropped_bytes: u64,
+    /// Packets lost to injected impairments (fault injection, not
+    /// queue overflow).
+    pub impaired_pkts: u64,
+    /// Bytes lost to injected impairments.
+    pub impaired_bytes: u64,
     /// Peak observed queue depth in packets.
     pub peak_queue_pkts: u64,
     /// Optional pre-serialized JSON summary of the queue-depth
@@ -47,6 +52,8 @@ impl LinkSnapshot {
         self.forwarded_bytes = self.forwarded_bytes.saturating_add(other.forwarded_bytes);
         self.dropped_pkts = self.dropped_pkts.saturating_add(other.dropped_pkts);
         self.dropped_bytes = self.dropped_bytes.saturating_add(other.dropped_bytes);
+        self.impaired_pkts = self.impaired_pkts.saturating_add(other.impaired_pkts);
+        self.impaired_bytes = self.impaired_bytes.saturating_add(other.impaired_bytes);
         self.peak_queue_pkts = self.peak_queue_pkts.max(other.peak_queue_pkts);
         if self.queue_depth_summary.is_none() {
             self.queue_depth_summary = other.queue_depth_summary.clone();
@@ -62,6 +69,8 @@ impl LinkSnapshot {
             .u64("forwarded_bytes", self.forwarded_bytes)
             .u64("dropped_pkts", self.dropped_pkts)
             .u64("dropped_bytes", self.dropped_bytes)
+            .u64("impaired_pkts", self.impaired_pkts)
+            .u64("impaired_bytes", self.impaired_bytes)
             .u64("peak_queue_pkts", self.peak_queue_pkts);
         if let Some(ref summary) = self.queue_depth_summary {
             w.raw("queue_depth", summary);
@@ -274,6 +283,8 @@ mod tests {
             forwarded_bytes: 9000,
             dropped_pkts: 1,
             dropped_bytes: 1000,
+            impaired_pkts: 2,
+            impaired_bytes: 2000,
             peak_queue_pkts: 4,
             queue_depth_summary: None,
         });
@@ -285,6 +296,7 @@ mod tests {
         assert!(json.contains("\"tool\":\"pathload\""));
         assert!(json.contains("\"counters\":{\"injected\":10,\"delivered\":9}"));
         assert!(json.contains("\"forwarded_pkts\":9"));
+        assert!(json.contains("\"impaired_pkts\":2"));
         assert!(json.ends_with('}'));
     }
 

@@ -19,6 +19,7 @@ fn main() {
         cross_sizes: SizeDist::Constant(1500),
         prop_delay: SimDuration::from_millis(2),
         queue_bytes: None,
+        impairment: None,
     };
     let mut scenario = Scenario::from_hops(vec![hop(8e6), hop(12e6), hop(32e6), hop(5e6)], 42);
     scenario.warm_up(SimDuration::from_millis(500));

@@ -12,8 +12,9 @@
 //! `trace_equivalence.rs` — the process-global recorder it installs
 //! must not leak into these tests.
 
-use abw_bench::reports::{shootout_table, table1_table};
+use abw_bench::reports::{loss_sweep_table, shootout_table, table1_table};
 use abw_bench::Format;
+use abw_core::experiments::loss_sweep::{self, LossSweepConfig};
 use abw_core::experiments::pairs_vs_trains::{self, PairsVsTrainsConfig};
 use abw_core::experiments::shootout::{self, ShootoutConfig};
 use abw_core::experiments::tcp_throughput::{self, TcpThroughputConfig};
@@ -48,6 +49,25 @@ fn shootout_is_bit_identical_across_worker_counts() {
             shootout_table(&b).render(Format::Csv)
         );
     }
+}
+
+#[test]
+fn loss_sweep_is_bit_identical_across_worker_counts() {
+    // Impairment RNG streams are per-link and seeded from the scenario
+    // seed, so injected faults must not introduce any worker-count
+    // dependence either.
+    let config = LossSweepConfig {
+        loss_rates: vec![0.0, 0.05],
+        seeds: vec![0xA11CE, 0xB0B],
+        ..LossSweepConfig::quick()
+    };
+    let a = loss_sweep::run_with(&config, &serial());
+    let b = loss_sweep::run_with(&config, &parallel());
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(
+        loss_sweep_table(&a).render(Format::Csv),
+        loss_sweep_table(&b).render(Format::Csv)
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! topologies and traffic.
 
 use abwe::netsim::{
-    packet_to, Agent, AgentId, CountingSink, Ctx, FlowId, LinkConfig, LinkId, Packet, PacketKind,
-    PathId, SimDuration, Simulator,
+    packet_to, Agent, AgentId, CountingSink, Ctx, FlowId, Impairment, ImpairmentConfig, LinkConfig,
+    LinkId, LossModel, Packet, PacketKind, PathId, SimDuration, Simulator,
 };
 use proptest::prelude::*;
 
@@ -131,6 +131,84 @@ proptest! {
         for w in s.seqs.windows(2) {
             prop_assert!(w[0] < w[1], "FIFO violated: {:?}", &s.seqs);
         }
+    }
+
+    /// Two impairments built from the same config and seed make the
+    /// same ingress/egress decisions forever — the property the whole
+    /// fault-injection layer's reproducibility rests on.
+    #[test]
+    fn impairment_decisions_replay_bit_identically(
+        seed in 0u64..u64::MAX,
+        p_loss in 0.0f64..1.0,
+        p_gb in 0.0f64..1.0,
+        p_bg in 0.001f64..1.0,
+        loss_bad in 0.0f64..1.0,
+        reorder in prop::option::of((0.0f64..1.0, 1u64..10_000)),
+        jitter_us in prop::option::of(1u64..10_000),
+        bursty in 0u32..2,
+        draws in 1usize..500,
+    ) {
+        let loss = if bursty == 1 {
+            LossModel::GilbertElliott {
+                p_good_to_bad: p_gb,
+                p_bad_to_good: p_bg,
+                loss_bad,
+                loss_good: 0.0,
+            }
+        } else {
+            LossModel::Iid { p: p_loss }
+        };
+        let mut config = ImpairmentConfig::none().with_loss(loss);
+        if let Some((prob, extra_us)) = reorder {
+            config = config.with_reorder(prob, SimDuration::from_micros(extra_us));
+        }
+        if let Some(us) = jitter_us {
+            config = config.with_jitter(SimDuration::from_micros(us));
+        }
+        let mut a = Impairment::new(config.clone(), seed);
+        let mut b = Impairment::new(config, seed);
+        for i in 0..draws {
+            prop_assert_eq!(a.ingress(), b.ingress(), "ingress diverged at draw {}", i);
+            prop_assert_eq!(
+                a.egress_extra(),
+                b.egress_extra(),
+                "egress diverged at draw {}",
+                i
+            );
+        }
+    }
+
+    /// Conservation holds with injected loss in the path: every packet
+    /// is delivered, queue-dropped, impaired, or expired.
+    #[test]
+    fn packet_conservation_under_impairment(
+        p in 0.0f64..0.6,
+        imp_seed in 0u64..u64::MAX,
+        queue_kb in prop::option::of(4u64..64),
+        gaps in prop::collection::vec(10u32..5000, 1..6),
+        n in 1u32..400,
+    ) {
+        let mut sim = Simulator::new();
+        let mut cfg = LinkConfig::new(10e6, SimDuration::from_millis(1));
+        cfg.queue_bytes = queue_kb.map(|k| k * 1024);
+        let link = sim.add_link(cfg);
+        sim.impair_link(link, ImpairmentConfig::iid_loss(p), imp_seed);
+        let path = sim.add_path(vec![link]);
+        let sink = sim.add_agent(Box::new(CountingSink::new()));
+        sim.add_agent(Box::new(ScriptedSender {
+            path,
+            dst: sink,
+            gaps_us: gaps,
+            sizes: vec![1200],
+            n,
+            sent: 0,
+        }));
+        sim.run_to_quiescence();
+        let c = sim.counters();
+        prop_assert_eq!(
+            c.injected,
+            c.delivered + sim.total_drops() + sim.total_impaired() + c.ttl_expired
+        );
     }
 
     /// Delivered throughput never exceeds the narrowest link's capacity.

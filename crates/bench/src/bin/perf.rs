@@ -1,0 +1,311 @@
+//! The pinned performance harness: measures a fixed workload matrix
+//! and writes `BENCH_<n>.json` (see [`abw_bench::perf`] for the record
+//! schema).
+//!
+//! Workloads:
+//!
+//! * `netsim_microloop` — the single-hop Poisson scenario run for a
+//!   fixed span of simulated time with no probing: raw simulator
+//!   throughput in packets/s and events/s of wall time;
+//! * `shootout_quick` — the quick tool shootout, wall time at
+//!   `jobs = 1` and `jobs = max`, plus heap traffic of the serial leg
+//!   (this binary installs the counting allocator);
+//! * `loss_sweep_quick` — the quick loss sweep, wall time at both
+//!   worker counts (skipped under `--quick`);
+//! * `tool_cost` — one quick drive per registry tool: probe packets
+//!   sent and simulator events consumed per estimate.
+//!
+//! Usage: `perf [--quick] [--out PATH] [--compare] [--check PATH]`
+//!
+//! * `--quick`    CI-sized run: shorter micro-loop, no loss sweep;
+//! * `--out`      output path (default `BENCH_6.json`);
+//! * `--compare`  diff against the previous `BENCH_<n>.json` next to
+//!   the output file and flag >10 % regressions (direction-aware);
+//! * `--check`    validate an existing file instead of measuring:
+//!   schema parses, every value finite and positive, ≥ 8 records.
+//!
+//! Set `ABW_PROF=1` to also get the span-tree report on stderr.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use abw_bench::{perf, Session};
+use abw_core::experiments::{loss_sweep, shootout};
+use abw_core::scenario::{Scenario, SingleHopConfig};
+use abw_core::tools::registry::{self, ToolConfig};
+use abw_exec::{available_workers, Executor};
+use abw_netsim::{SimDuration, SimTime};
+use abw_obs::prof::{self, Cost};
+
+#[global_allocator]
+static ALLOC: prof::CountingAlloc = prof::CountingAlloc;
+
+/// Regressions larger than this fraction are flagged by `--compare`.
+const REGRESSION_THRESHOLD: f64 = 0.10;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args.get(i + 1).map(PathBuf::from).unwrap_or_else(|| {
+            eprintln!("--check needs a file argument");
+            std::process::exit(2);
+        });
+        std::process::exit(check(&path));
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let compare = args.iter().any(|a| a == "--compare");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"));
+
+    let mut session = Session::start("perf");
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" });
+
+    let git = abw_obs::manifest::detect_version();
+    let max_jobs = available_workers() as u64;
+    let mut records: Vec<perf::BenchRecord> = Vec::new();
+    let push = |records: &mut Vec<perf::BenchRecord>,
+                bench: &str,
+                metric: &str,
+                value: f64,
+                unit: &str,
+                jobs: u64| {
+        records.push(perf::BenchRecord {
+            bench: bench.to_string(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+            jobs,
+            git: git.clone(),
+        });
+    };
+
+    // -- netsim micro-loop: simulator throughput with no probing ------
+    // ~25 Mb/s of 1500 B Poisson cross = ~2.1k packets per simulated
+    // second; long enough that the wall-time denominator is tens of
+    // milliseconds, not scheduler noise
+    let sim_secs = if quick { 20.0 } else { 120.0 };
+    let mut scenario = Scenario::single_hop(&SingleHopConfig {
+        seed: 7,
+        ..SingleHopConfig::default()
+    });
+    let before = prof::snapshot();
+    let started = Instant::now();
+    scenario
+        .sim
+        .run_until(SimTime::from_nanos((sim_secs * 1e9) as u64));
+    let wall = started.elapsed().as_secs_f64();
+    let d = prof::snapshot().delta(&before);
+    drop(scenario);
+    if wall > 0.0 {
+        push(
+            &mut records,
+            "netsim_microloop",
+            "packets_per_sec",
+            d.get(Cost::PacketsSimulated) as f64 / wall,
+            "/s",
+            1,
+        );
+        push(
+            &mut records,
+            "netsim_microloop",
+            "events_per_sec",
+            d.get(Cost::EventsPopped) as f64 / wall,
+            "/s",
+            1,
+        );
+    }
+    eprintln!(
+        "netsim_microloop: {} packets, {} events in {:.3}s",
+        d.get(Cost::PacketsSimulated),
+        d.get(Cost::EventsPopped),
+        wall,
+    );
+
+    // -- quick shootout wall time, serial and parallel ----------------
+    let shootout_config = shootout::ShootoutConfig::quick();
+    for jobs in jobs_legs(max_jobs) {
+        let before = prof::snapshot();
+        let started = Instant::now();
+        let result = shootout::run_with(&shootout_config, &Executor::new(jobs as usize));
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let d = prof::snapshot().delta(&before);
+        push(
+            &mut records,
+            "shootout_quick",
+            "wall_ms",
+            wall_ms,
+            "ms",
+            jobs,
+        );
+        if jobs == 1 {
+            // heap traffic is only meaningful single-threaded, where no
+            // concurrent workload shares the allocator totals
+            push(
+                &mut records,
+                "shootout_quick",
+                "heap_allocs",
+                d.get(Cost::HeapAllocs) as f64,
+                "count",
+                jobs,
+            );
+            push(
+                &mut records,
+                "shootout_quick",
+                "heap_bytes",
+                d.get(Cost::HeapBytes) as f64,
+                "bytes",
+                jobs,
+            );
+        }
+        eprintln!(
+            "shootout_quick jobs={jobs}: {:.0} ms, {} rows",
+            wall_ms,
+            result.rows.len(),
+        );
+    }
+
+    // -- quick loss sweep wall time (full mode only) ------------------
+    if !quick {
+        let sweep_config = loss_sweep::LossSweepConfig::quick();
+        for jobs in jobs_legs(max_jobs) {
+            let started = Instant::now();
+            let result = loss_sweep::run_with(&sweep_config, &Executor::new(jobs as usize));
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            push(
+                &mut records,
+                "loss_sweep_quick",
+                "wall_ms",
+                wall_ms,
+                "ms",
+                jobs,
+            );
+            eprintln!(
+                "loss_sweep_quick jobs={jobs}: {:.0} ms, {} cells",
+                wall_ms,
+                result.rows.len(),
+            );
+        }
+    }
+
+    // -- per-tool probe-packet and event cost -------------------------
+    let tool_config = ToolConfig::quick();
+    for entry in registry::all() {
+        let mut s = Scenario::single_hop(&SingleHopConfig {
+            seed: 11,
+            ..SingleHopConfig::default()
+        });
+        s.warm_up(SimDuration::from_millis(500));
+        let mut tool = entry.build(&tool_config);
+        let mut probe_session = s.session();
+        let before = prof::snapshot();
+        let verdict = probe_session.drive(&mut s.sim, tool.as_mut());
+        let d = prof::snapshot().delta(&before);
+        push(
+            &mut records,
+            &format!("tool_{}", entry.name),
+            "probe_packets",
+            verdict.probe_packets() as f64,
+            "count",
+            1,
+        );
+        push(
+            &mut records,
+            &format!("tool_{}", entry.name),
+            "events",
+            d.get(Cost::EventsPopped) as f64,
+            "count",
+            1,
+        );
+    }
+
+    // -- write, validate, compare -------------------------------------
+    let problems = perf::validate(&records);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("invalid record: {p}");
+        }
+        std::process::exit(1);
+    }
+    let body = perf::render_file(&records);
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} records ({} workloads) to {}",
+        records.len(),
+        {
+            let mut benches: Vec<&str> = records.iter().map(|r| r.bench.as_str()).collect();
+            benches.dedup();
+            benches.len()
+        },
+        out.display(),
+    );
+
+    if compare {
+        let dir = out.parent().filter(|p| !p.as_os_str().is_empty());
+        let previous = dir
+            .map(PathBuf::from)
+            .or_else(|| Some(PathBuf::from(".")))
+            .and_then(|d| perf::previous_bench_file(&d, &out));
+        match previous {
+            Some(prev) => {
+                let old_body = std::fs::read_to_string(&prev).unwrap_or_default();
+                let old = perf::parse_file(&old_body);
+                println!(
+                    "comparison against {} ({} records, threshold {:.0}%):",
+                    prev.display(),
+                    old.len(),
+                    REGRESSION_THRESHOLD * 100.0,
+                );
+                print!(
+                    "{}",
+                    perf::render_deltas(&perf::compare(&old, &records, REGRESSION_THRESHOLD))
+                );
+            }
+            None => println!("no previous BENCH_*.json to compare against"),
+        }
+    }
+
+    session.finish();
+}
+
+/// The worker counts to measure: always serial, plus the machine
+/// maximum. The parallel leg uses at least two workers so the
+/// scheduling path (thread spawn, work distribution, result replay)
+/// is measured even on a single-core machine.
+fn jobs_legs(max_jobs: u64) -> Vec<u64> {
+    vec![1, max_jobs.max(2)]
+}
+
+/// `--check`: validates an existing `BENCH_*.json` for CI.
+fn check(path: &PathBuf) -> i32 {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let records = perf::parse_file(&body);
+    let mut problems = perf::validate(&records);
+    if records.len() < 8 {
+        problems.push(format!("only {} records, expected >= 8", records.len()));
+    }
+    if problems.is_empty() {
+        println!("{}: {} records, all valid", path.display(), records.len());
+        0
+    } else {
+        for p in &problems {
+            eprintln!("{}: {p}", path.display());
+        }
+        1
+    }
+}

@@ -19,15 +19,35 @@
 //!   (byte-identical across runs with the same seeds);
 //! * `ABW_MANIFEST=dir` — writes `dir/<name>.manifest.json` describing
 //!   the run (version, parameters, wall-clock time) when the session
-//!   finishes.
+//!   finishes;
+//! * `ABW_PROF=1` — enables span profiling: when the session finishes,
+//!   a merged span tree (inclusive wall time across all workers) and
+//!   the hot-path cost counters are printed to stderr.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use abw_obs::{JsonlRecorder, RunManifest};
 
+pub mod perf;
 pub mod reports;
+
+/// Monotonic nanoseconds since the first call, for
+/// [`abw_obs::prof::enable`]. Lives here (not in `abw-obs`) because the
+/// observability crate is wall-clock-free by lint rule D1; the harness
+/// is where time is allowed to exist.
+pub fn prof_clock_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// True when `ABW_PROF` asks for profiling (set and not `0`/empty).
+fn prof_requested() -> bool {
+    std::env::var("ABW_PROF").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// One experiment-binary run: wires `ABW_TRACE` / `ABW_MANIFEST` into
 /// the observability layer and owns the run's [`RunManifest`].
@@ -38,6 +58,7 @@ pub struct Session {
     manifest: RunManifest,
     manifest_dir: Option<PathBuf>,
     tracing: bool,
+    profiling: bool,
     started: Instant,
 }
 
@@ -75,6 +96,10 @@ impl Session {
             // every simulator the run creates folds its totals in on drop
             abw_obs::global::begin_manifest_capture();
         }
+        let profiling = prof_requested();
+        if profiling {
+            abw_obs::prof::enable(prof_clock_nanos);
+        }
         let mut manifest = RunManifest::new(name);
         // the worker count the executor will use (ABW_JOBS or the
         // available parallelism) — per-job wall times land in the
@@ -84,6 +109,7 @@ impl Session {
             manifest,
             manifest_dir,
             tracing,
+            profiling,
             started: Instant::now(),
         }
     }
@@ -103,6 +129,17 @@ impl Session {
     /// executed, stamps the wall-clock time, and writes the manifest
     /// when `ABW_MANIFEST` was set.
     pub fn finish(mut self) {
+        if self.profiling {
+            // the main thread's open tally plus every retired worker's
+            abw_obs::prof::flush_thread();
+            let profile = abw_obs::prof::take_profile();
+            eprintln!("{}", profile.render());
+            let costs = abw_obs::prof::snapshot();
+            eprintln!("hot-path cost counters (process totals):");
+            for (name, value) in costs.entries() {
+                eprintln!("  {name:<20} {value:>14}");
+            }
+        }
         if self.tracing {
             abw_obs::global::clear_global();
         }

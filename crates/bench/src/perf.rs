@@ -1,0 +1,354 @@
+//! The pinned performance-record format behind `BENCH_*.json`.
+//!
+//! The `perf` binary measures a fixed workload matrix and writes one
+//! `BENCH_<n>.json` per PR; this module owns the record schema, its
+//! (de)serialization, validity checks, and the regression comparison
+//! against an earlier file. The schema is deliberately flat and
+//! append-only so files from different PRs stay diffable:
+//!
+//! ```json
+//! [
+//! {"bench":"netsim_microloop","metric":"packets_per_sec","value":1.5e6,"unit":"/s","jobs":1,"git":"v0-12-gabc1234"},
+//! ...
+//! ]
+//! ```
+//!
+//! One record per line inside a JSON array. Units ending in `/s` are
+//! throughputs (higher is better); every other unit (`ms`, `bytes`,
+//! `count`, …) is a cost (lower is better). [`compare`] uses that
+//! direction convention to flag >10 % regressions.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use abw_obs::json::ObjectWriter;
+
+/// One measured data point of the perf harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Workload name (`netsim_microloop`, `shootout_quick`, …).
+    pub bench: String,
+    /// Metric within the workload (`packets_per_sec`, `wall_ms`, …).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit string; `…/s` marks a throughput, anything else a cost.
+    pub unit: String,
+    /// Worker count the workload ran under (1 = serial).
+    pub jobs: u64,
+    /// Repo version at measurement time (`git describe` or fallback).
+    pub git: String,
+}
+
+impl BenchRecord {
+    /// Serializes to one canonical JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut w = ObjectWriter::new(&mut out);
+        w.str("bench", &self.bench)
+            .str("metric", &self.metric)
+            .f64("value", self.value)
+            .str("unit", &self.unit)
+            .u64("jobs", self.jobs)
+            .str("git", &self.git);
+        w.finish();
+        out
+    }
+
+    /// Parses one record line. The format is self-controlled (always
+    /// written by [`BenchRecord::to_json`]), so this is a field
+    /// extractor, not a general JSON parser; unknown keys are ignored
+    /// for forward compatibility.
+    pub fn parse(line: &str) -> Option<BenchRecord> {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        Some(BenchRecord {
+            bench: extract_str(line, "bench")?,
+            metric: extract_str(line, "metric")?,
+            value: extract_num(line, "value")?,
+            unit: extract_str(line, "unit")?,
+            jobs: extract_num(line, "jobs")? as u64,
+            git: extract_str(line, "git")?,
+        })
+    }
+
+    /// True when this record's unit marks a throughput, i.e. higher
+    /// values are better and a *drop* is a regression.
+    pub fn higher_is_better(&self) -> bool {
+        self.unit.ends_with("/s")
+    }
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = field_value(line, key)?;
+    let rest = rest.strip_prefix('"')?;
+    // keys and values we write never contain escaped quotes, but stay
+    // honest about them anyway
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            _ => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let rest = field_value(line, key)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)?;
+    Some(line[at + needle.len()..].trim_start())
+}
+
+/// Serializes records as the canonical one-record-per-line JSON array.
+pub fn render_file(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses a full `BENCH_*.json` file body.
+pub fn parse_file(body: &str) -> Vec<BenchRecord> {
+    body.lines().filter_map(BenchRecord::parse).collect()
+}
+
+/// Checks every record is usable: finite positive value, non-empty
+/// names. Returns human-readable problems (empty = valid).
+pub fn validate(records: &[BenchRecord]) -> Vec<String> {
+    let mut problems = Vec::new();
+    if records.is_empty() {
+        problems.push("no records".to_string());
+    }
+    for r in records {
+        let id = format!("{}/{} jobs={}", r.bench, r.metric, r.jobs);
+        if r.bench.is_empty() || r.metric.is_empty() || r.unit.is_empty() {
+            problems.push(format!("{id}: empty bench/metric/unit"));
+        }
+        if !r.value.is_finite() || r.value <= 0.0 {
+            problems.push(format!("{id}: value {} not finite-positive", r.value));
+        }
+    }
+    problems
+}
+
+/// One metric that moved by more than the comparison threshold.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// `bench/metric jobs=n` identifier.
+    pub id: String,
+    /// Previous value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// Signed relative change, `new/old - 1`.
+    pub change: f64,
+    /// True when the change is in the bad direction for the unit.
+    pub regression: bool,
+}
+
+/// Compares `new` against `old` records matched on
+/// `(bench, metric, jobs)` and returns every metric whose relative
+/// change exceeds `threshold` (e.g. `0.10` = 10 %). Direction-aware:
+/// throughputs (`…/s`) regress downward, costs regress upward.
+/// Metrics present on only one side are skipped — the matrix is
+/// allowed to grow between PRs.
+pub fn compare(old: &[BenchRecord], new: &[BenchRecord], threshold: f64) -> Vec<Delta> {
+    let mut deltas = Vec::new();
+    for n in new {
+        let Some(o) = old
+            .iter()
+            .find(|o| o.bench == n.bench && o.metric == n.metric && o.jobs == n.jobs)
+        else {
+            continue;
+        };
+        if o.value <= 0.0 {
+            continue;
+        }
+        let change = n.value / o.value - 1.0;
+        if change.abs() <= threshold {
+            continue;
+        }
+        let regression = if n.higher_is_better() {
+            change < 0.0
+        } else {
+            change > 0.0
+        };
+        deltas.push(Delta {
+            id: format!("{}/{} jobs={}", n.bench, n.metric, n.jobs),
+            old: o.value,
+            new: n.value,
+            change,
+            regression,
+        });
+    }
+    deltas
+}
+
+/// Renders a comparison report; regressions are tagged so CI can grep.
+pub fn render_deltas(deltas: &[Delta]) -> String {
+    if deltas.is_empty() {
+        return "no metric moved by more than the threshold\n".to_string();
+    }
+    let mut out = String::new();
+    for d in deltas {
+        let tag = if d.regression {
+            "REGRESSION"
+        } else {
+            "improved"
+        };
+        let _ = writeln!(
+            out,
+            "{tag:<10} {id:<44} {old:>14.3} -> {new:>14.3} ({change:+.1}%)",
+            id = d.id,
+            old = d.old,
+            new = d.new,
+            change = d.change * 100.0,
+        );
+    }
+    out
+}
+
+/// Finds the most recent `BENCH_<n>.json` in `dir`, excluding
+/// `exclude` (the file the current run is about to write). "Most
+/// recent" means the highest `<n>` — PR numbers are monotonic.
+pub fn previous_bench_file(dir: &Path, exclude: &Path) -> Option<PathBuf> {
+    let index_of = |path: &Path| -> Option<u64> {
+        path.file_name()?
+            .to_str()?
+            .strip_prefix("BENCH_")?
+            .strip_suffix(".json")?
+            .parse()
+            .ok()
+    };
+    // `read_dir` yields `./BENCH_n.json` while the caller may hold a
+    // bare `BENCH_n.json`; canonicalize so the exclusion matches
+    let exclude = exclude
+        .canonicalize()
+        .unwrap_or_else(|_| exclude.to_path_buf());
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        if path.canonicalize().unwrap_or_else(|_| path.clone()) == exclude {
+            continue;
+        }
+        let Some(n) = index_of(&path) else { continue };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(bench: &str, metric: &str, value: f64, unit: &str, jobs: u64) -> BenchRecord {
+        BenchRecord {
+            bench: bench.to_string(),
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+            jobs,
+            git: "v0-test".to_string(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file_format() {
+        let records = vec![
+            rec("netsim_microloop", "packets_per_sec", 1.5e6, "/s", 1),
+            rec("shootout_quick", "wall_ms", 1234.5, "ms", 4),
+        ];
+        let body = render_file(&records);
+        assert!(body.starts_with("[\n"), "{body}");
+        assert!(body.ends_with("]\n"), "{body}");
+        assert_eq!(parse_file(&body), records);
+    }
+
+    #[test]
+    fn parse_ignores_array_brackets_and_unknown_keys() {
+        assert!(BenchRecord::parse("[").is_none());
+        assert!(BenchRecord::parse("]").is_none());
+        let line =
+            r#"{"bench":"b","metric":"m","value":2,"unit":"ms","jobs":1,"git":"g","extra":true},"#;
+        let r = BenchRecord::parse(line).expect("parses with unknown key");
+        assert_eq!(r.bench, "b");
+        assert!((r.value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_flags_nonpositive_and_nonfinite_values() {
+        let good = vec![rec("a", "m", 1.0, "ms", 1)];
+        assert!(validate(&good).is_empty());
+        let bad = vec![
+            rec("a", "m", 0.0, "ms", 1),
+            rec("a", "n", f64::NAN, "ms", 1),
+        ];
+        let problems = validate(&bad);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(validate(&[]).iter().any(|p| p.contains("no records")));
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let old = vec![
+            rec("sim", "packets_per_sec", 1000.0, "/s", 1),
+            rec("run", "wall_ms", 100.0, "ms", 1),
+        ];
+        // throughput down 20% = regression; wall time down 20% = improvement
+        let new = vec![
+            rec("sim", "packets_per_sec", 800.0, "/s", 1),
+            rec("run", "wall_ms", 80.0, "ms", 1),
+        ];
+        let deltas = compare(&old, &new, 0.10);
+        assert_eq!(deltas.len(), 2);
+        assert!(deltas[0].regression, "throughput drop must regress");
+        assert!(!deltas[1].regression, "cost drop is an improvement");
+        let report = render_deltas(&deltas);
+        assert!(report.contains("REGRESSION"), "{report}");
+        assert!(report.contains("improved"), "{report}");
+    }
+
+    #[test]
+    fn compare_skips_small_moves_and_unmatched_metrics() {
+        let old = vec![rec("sim", "packets_per_sec", 1000.0, "/s", 1)];
+        let new = vec![
+            rec("sim", "packets_per_sec", 950.0, "/s", 1), // -5%: under threshold
+            rec("sim", "events_per_sec", 10.0, "/s", 1),   // new metric: skipped
+        ];
+        assert!(compare(&old, &new, 0.10).is_empty());
+    }
+
+    #[test]
+    fn previous_bench_file_picks_the_highest_index() {
+        let dir = std::env::temp_dir().join(format!("abw-perf-prev-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [2, 6, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "[\n]\n").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_x.json"), "junk").unwrap();
+        let exclude = dir.join("BENCH_10.json");
+        let prev = previous_bench_file(&dir, &exclude).expect("found");
+        assert!(prev.ends_with("BENCH_6.json"), "{}", prev.display());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

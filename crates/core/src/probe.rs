@@ -279,6 +279,7 @@ impl ProbeRunner {
     /// advances until every packet arrived or the drain timeout expires
     /// (lost packets simply stay absent from the result).
     pub fn run_stream(&mut self, sim: &mut Simulator, spec: &StreamSpec) -> StreamResult {
+        let _prof = abw_obs::prof::span("probe.stream");
         let id = self.next_stream_id;
         self.next_stream_id += 1;
 
@@ -432,6 +433,7 @@ impl<'r> Session<'r> {
 
     /// Drives `tool` to completion and returns its verdict.
     pub fn drive(&mut self, sim: &mut Simulator, tool: &mut dyn Estimator) -> Verdict {
+        let _prof = abw_obs::prof::span("session.drive");
         loop {
             if let Some(verdict) = self.step(sim, tool) {
                 return verdict;

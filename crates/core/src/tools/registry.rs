@@ -9,6 +9,7 @@
 //! full settings are the shootout defaults.
 
 use abw_netsim::SimDuration;
+use abw_obs::prof::{self, Cost};
 
 use crate::tools::bfind::{Bfind, BfindConfig};
 use crate::tools::capacity::{CapacityConfig, CapacityProber};
@@ -66,8 +67,36 @@ pub struct ToolEntry {
 
 impl ToolEntry {
     /// Builds a fresh single-shot estimator for one measurement round.
+    ///
+    /// The estimator comes wrapped in a transparent profiling shim:
+    /// every `next()` call is tallied as a [`Cost::ToolSteps`] unit and
+    /// timed under a span named after the registry entry — so a span
+    /// report attributes decision time to `pathload`, `spruce`, … with
+    /// no per-tool instrumentation. The shim forwards verbatim and
+    /// never perturbs tool behavior.
     pub fn build(&self, config: &ToolConfig) -> Box<dyn Estimator> {
-        (self.constructor)(config)
+        Box::new(Instrumented {
+            name: self.name,
+            inner: (self.constructor)(config),
+        })
+    }
+}
+
+/// Transparent per-tool profiling wrapper (see [`ToolEntry::build`]).
+struct Instrumented {
+    name: &'static str,
+    inner: Box<dyn Estimator>,
+}
+
+impl Estimator for Instrumented {
+    fn next(&mut self, last: Option<&crate::tools::Observation>) -> crate::tools::Action {
+        prof::count(Cost::ToolSteps);
+        let _span = prof::span(self.name);
+        self.inner.next(last)
+    }
+
+    fn take_events(&mut self) -> Vec<crate::tools::ToolEvent> {
+        self.inner.take_events()
     }
 }
 

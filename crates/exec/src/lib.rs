@@ -40,10 +40,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 use abw_obs::global::{self, CapturedJob};
+use abw_obs::prof;
+use abw_obs::{Recorder as _, Value};
 
 /// Environment variable selecting the worker count.
 pub const JOBS_ENV: &str = "ABW_JOBS";
@@ -95,10 +97,20 @@ impl Executor {
     }
 
     /// An executor configured from `ABW_JOBS` (see the module docs).
+    ///
+    /// A **set but unusable** `ABW_JOBS` (`0`, garbage) keeps the
+    /// documented all-cores fallback, but is no longer silent: the
+    /// first occurrence per process emits an `exec.jobs_fallback` obs
+    /// event and a stderr warning, so a misconfigured CI leg that
+    /// thinks it pinned the worker count is visible.
     pub fn from_env() -> Self {
-        let parsed = std::env::var(JOBS_ENV)
-            .ok()
-            .and_then(|v| parse_jobs(Some(&v)));
+        let raw = std::env::var(JOBS_ENV).ok();
+        let parsed = raw.as_deref().and_then(|v| parse_jobs(Some(v)));
+        if parsed.is_none() {
+            if let Some(raw) = raw.as_deref() {
+                warn_jobs_fallback(raw);
+            }
+        }
         Executor {
             workers: parsed.unwrap_or_else(available_workers),
         }
@@ -151,16 +163,26 @@ impl Executor {
         F: FnOnce() -> T,
     {
         let mut wall_ms = Vec::with_capacity(jobs.len());
+        let run_started = Instant::now();
         let results = jobs
             .into_iter()
             .map(|job| {
+                let span = prof::span("exec.job");
                 let started = Instant::now();
                 let out = job();
                 wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                drop(span);
                 out
             })
             .collect();
-        record_run(1, &wall_ms);
+        let busy_ns = run_started.elapsed().as_nanos() as u64;
+        let stats = [WorkerStats {
+            jobs: wall_ms.len() as u64,
+            busy_ns,
+            idle_ns: 0,
+        }];
+        record_worker_stats(&stats);
+        record_run(1, &wall_ms, &stats);
         results
     }
 
@@ -187,35 +209,61 @@ impl Executor {
         let slots: Vec<Mutex<Option<Slot<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
+        let worker_stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::with_capacity(workers));
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
+                scope.spawn(|| {
+                    let worker_started = Instant::now();
+                    let mut busy_ns = 0u64;
+                    let mut jobs_run = 0u64;
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let job = pending[index]
+                            .lock()
+                            .expect("pending-job mutex poisoned")
+                            .take()
+                            .expect("each job is taken exactly once");
+                        global::begin_thread_capture(capture_events, capture_manifest);
+                        let span = prof::span("exec.job");
+                        let started = Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(job));
+                        let elapsed = started.elapsed();
+                        drop(span);
+                        let wall_ms = elapsed.as_secs_f64() * 1e3;
+                        busy_ns = busy_ns.saturating_add(elapsed.as_nanos() as u64);
+                        jobs_run += 1;
+                        let capture = global::take_thread_capture();
+                        if outcome.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        *slots[index].lock().expect("result-slot mutex poisoned") = Some(Slot {
+                            outcome,
+                            capture,
+                            wall_ms,
+                        });
                     }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
-                        break;
+                    // worker retires: report scheduling efficiency and
+                    // fold this thread's profile/cost tallies into the
+                    // process totals (span merge is name-keyed, so the
+                    // nondeterministic retire order cannot show)
+                    let total_ns = worker_started.elapsed().as_nanos() as u64;
+                    let stats = WorkerStats {
+                        jobs: jobs_run,
+                        busy_ns,
+                        idle_ns: total_ns.saturating_sub(busy_ns),
+                    };
+                    if let Ok(mut all) = worker_stats.lock() {
+                        all.push(stats);
                     }
-                    let job = pending[index]
-                        .lock()
-                        .expect("pending-job mutex poisoned")
-                        .take()
-                        .expect("each job is taken exactly once");
-                    global::begin_thread_capture(capture_events, capture_manifest);
-                    let started = Instant::now();
-                    let outcome = catch_unwind(AssertUnwindSafe(job));
-                    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-                    let capture = global::take_thread_capture();
-                    if outcome.is_err() {
-                        abort.store(true, Ordering::Relaxed);
-                    }
-                    *slots[index].lock().expect("result-slot mutex poisoned") = Some(Slot {
-                        outcome,
-                        capture,
-                        wall_ms,
-                    });
+                    record_worker_stats(&[stats]);
+                    prof::flush_thread();
                 });
             }
         });
@@ -257,9 +305,63 @@ impl Executor {
                 Err(_) => unreachable!("panics surfaced above"),
             });
         }
-        record_run(workers, &wall_ms);
+        let mut stats = worker_stats
+            .into_inner()
+            .expect("worker-stats mutex poisoned");
+        // retire order is nondeterministic; present busiest-first
+        stats.sort_by_key(|s| std::cmp::Reverse(s.busy_ns));
+        record_run(workers, &wall_ms, &stats);
         results
     }
+}
+
+/// Per-worker scheduling totals for one executor run.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerStats {
+    /// Jobs this worker completed.
+    jobs: u64,
+    /// Time spent running jobs.
+    busy_ns: u64,
+    /// Worker lifetime minus busy time (queue-empty waits, scheduling).
+    idle_ns: u64,
+}
+
+/// Attaches one worker's busy/idle totals to the profiling tree (under
+/// the worker's current span, i.e. the root). No-op while profiling is
+/// disabled.
+fn record_worker_stats(stats: &[WorkerStats]) {
+    for s in stats {
+        prof::record("exec.worker.busy", s.jobs, s.busy_ns);
+        prof::record("exec.worker.idle", 1, s.idle_ns);
+    }
+}
+
+/// One-time guard for the `ABW_JOBS` fallback warning.
+static JOBS_FALLBACK_WARNED: Once = Once::new();
+
+/// Announces (once per process) that a set `ABW_JOBS` value could not
+/// be used and the executor fell back to every core: a point event for
+/// traces, a manifest counter, and a stderr line for humans.
+fn warn_jobs_fallback(raw: &str) {
+    JOBS_FALLBACK_WARNED.call_once(|| {
+        let workers = available_workers();
+        // deliberate operator-facing warning, not library chatter;
+        // lint: allow(print)
+        eprintln!(
+            "warning: {JOBS_ENV}={raw:?} is not a positive integer; \
+             falling back to all {workers} cores"
+        );
+        if let Some(mut recorder) = global::global() {
+            recorder.instant(
+                0,
+                "exec.jobs_fallback",
+                &[("value", Value::Str(raw)), ("workers", workers.into())],
+            );
+        }
+        global::with_manifest(|m| {
+            m.add_counter("exec.jobs_fallback", 1);
+        });
+    });
 }
 
 /// Monotonic sequence number distinguishing multiple executor runs
@@ -267,10 +369,11 @@ impl Executor {
 static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Records one executor run into the active manifest capture (if any):
-/// worker count and per-job wall-clock times. Wall times are
-/// inherently nondeterministic and live next to `wall_time_secs`,
-/// outside every byte-identity guarantee.
-fn record_run(workers: usize, wall_ms: &[f64]) {
+/// worker count, per-job wall-clock times, and per-worker busy/idle
+/// scheduling totals. Wall times are inherently nondeterministic and
+/// live next to `wall_time_secs`, outside every byte-identity
+/// guarantee.
+fn record_run(workers: usize, wall_ms: &[f64], stats: &[WorkerStats]) {
     global::with_manifest(|m| {
         m.add_counter("exec.jobs", wall_ms.len() as u64);
         let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
@@ -280,6 +383,20 @@ fn record_run(workers: usize, wall_ms: &[f64]) {
                 json.push(',');
             }
             json.push_str(&format!("{ms:.3}"));
+        }
+        json.push_str("],\"worker_busy_ms\":[");
+        for (i, s) in stats.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("{:.3}", s.busy_ns as f64 / 1e6));
+        }
+        json.push_str("],\"worker_idle_ms\":[");
+        for (i, s) in stats.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("{:.3}", s.idle_ns as f64 / 1e6));
         }
         json.push_str("]}");
         m.extra.push((format!("exec.run{seq}"), json));
@@ -402,6 +519,35 @@ mod tests {
         assert_eq!(parse_jobs(Some("lots")), None, "garbage falls back");
         assert_eq!(parse_jobs(Some("")), None, "empty falls back");
         assert_eq!(parse_jobs(None), None, "unset falls back");
+    }
+
+    #[test]
+    fn from_env_with_garbage_falls_back_to_all_cores() {
+        let prev = std::env::var(JOBS_ENV).ok();
+        std::env::set_var(JOBS_ENV, "lots");
+        let exec = Executor::from_env();
+        match prev {
+            Some(v) => std::env::set_var(JOBS_ENV, v),
+            None => std::env::remove_var(JOBS_ENV),
+        }
+        assert_eq!(exec.workers(), available_workers());
+    }
+
+    #[test]
+    fn record_run_reports_worker_scheduling_totals() {
+        global::begin_thread_capture(false, true);
+        let results = Executor::new(4).run((0..6u64).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results, vec![0, 1, 2, 3, 4, 5]);
+        let captured = global::take_thread_capture().expect("capture active");
+        let fragment = captured.manifest.expect("manifest fragment");
+        let (_, run_json) = fragment
+            .extra
+            .iter()
+            .find(|(k, _)| k.starts_with("exec.run"))
+            .expect("executor recorded its run");
+        assert!(run_json.contains("\"job_wall_ms\":["));
+        assert!(run_json.contains("\"worker_busy_ms\":["));
+        assert!(run_json.contains("\"worker_idle_ms\":["));
     }
 
     #[test]

@@ -1,0 +1,9 @@
+// D1 allow: how the profiling module actually tells time — through a
+// clock function injected by the harness (`abw-bench`), which is the
+// layer where wall-clock reads are legal. No ambient reads here.
+
+pub static CLOCK: std::sync::OnceLock<fn() -> u64> = std::sync::OnceLock::new();
+
+pub fn span_start_ns() -> u64 {
+    CLOCK.get().map_or(0, |clock| clock())
+}

@@ -1,0 +1,9 @@
+// D1 deny: the profiling module reading the wall clock directly.
+// Linted as if it lived in `crates/obs/src/` — the observability crate
+// is wall-clock-free; spans must use the injected clock function.
+
+pub fn span_start_ns() -> u64 {
+    let started = Instant::now();
+    let _ = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}

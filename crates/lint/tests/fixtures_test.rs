@@ -16,6 +16,7 @@ use abw_lint::{lint_source, lint_workspace, FileContext, Rule};
 fn cases() -> Vec<(&'static str, Rule, FileContext)> {
     vec![
         ("d1_wall_clock", Rule::WallClock, FileContext::lib("netsim")),
+        ("d1_prof_clock", Rule::WallClock, FileContext::lib("obs")),
         ("d2_hash_iter", Rule::HashIter, FileContext::lib("core")),
         (
             "d3_thread_spawn",

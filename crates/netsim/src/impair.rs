@@ -28,6 +28,7 @@
 //! flaps take effect at the next transmission start, so an in-flight
 //! packet always finishes at the rate it started with.
 
+use abw_obs::prof::{self, Cost};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -353,12 +354,20 @@ impl Impairment {
         &self.config
     }
 
+    /// One uniform draw in `[0, 1)`, tallied as [`Cost::RngDraws`] —
+    /// every random decision below goes through here so the profiler
+    /// sees exactly how much entropy the impairment pipeline consumes.
+    fn draw(&mut self) -> f64 {
+        prof::count(Cost::RngDraws);
+        self.rng.random::<f64>()
+    }
+
     /// Ingress decision for the next packet offered to the link. Each
     /// call advances the loss process by exactly one packet.
     pub fn ingress(&mut self) -> IngressDecision {
         let lose = match self.config.loss {
             LossModel::None => false,
-            LossModel::Iid { p } => p > 0.0 && self.rng.random::<f64>() < p,
+            LossModel::Iid { p } => p > 0.0 && self.draw() < p,
             LossModel::GilbertElliott {
                 p_good_to_bad,
                 p_bad_to_good,
@@ -366,14 +375,14 @@ impl Impairment {
                 loss_good,
             } => {
                 let p = if self.ge_bad { loss_bad } else { loss_good };
-                let lose = p > 0.0 && self.rng.random::<f64>() < p;
+                let lose = p > 0.0 && self.draw() < p;
                 // transition after the loss decision, one step per packet
                 let p_flip = if self.ge_bad {
                     p_bad_to_good
                 } else {
                     p_good_to_bad
                 };
-                if p_flip > 0.0 && self.rng.random::<f64>() < p_flip {
+                if p_flip > 0.0 && self.draw() < p_flip {
                     self.ge_bad = !self.ge_bad;
                 }
                 lose
@@ -391,12 +400,13 @@ impl Impairment {
     pub fn egress_extra(&mut self) -> SimDuration {
         let mut extra = SimDuration::ZERO;
         if let Some(r) = self.config.reorder {
-            if r.prob > 0.0 && self.rng.random::<f64>() < r.prob {
+            if r.prob > 0.0 && self.draw() < r.prob {
                 extra += r.extra;
             }
         }
         if let Some(max) = self.config.jitter {
             if max > SimDuration::ZERO {
+                prof::count(Cost::RngDraws);
                 extra += SimDuration::from_nanos(self.rng.random_range(0..=max.as_nanos()));
             }
         }

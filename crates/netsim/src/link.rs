@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 
 use abw_obs::manifest::LinkSnapshot;
 use abw_obs::metrics::LogLinearHistogram;
+use abw_obs::prof::{self, Cost};
 
 use crate::impair::{Impairment, ImpairmentConfig, IngressDecision};
 use crate::invariants::invariant;
@@ -323,6 +324,7 @@ impl Link {
                 return EnqueueOutcome::Dropped;
             }
         }
+        prof::count(Cost::QueueOps);
         self.queued_bytes += packet.size as u64;
         self.queue.push_back(packet);
         self.accepted_pkts += 1;
@@ -364,6 +366,7 @@ impl Link {
     /// completion via [`Link::start_transmission`].
     pub fn finish_transmission(&mut self, now: SimTime) -> (Packet, bool) {
         assert!(self.transmitting, "no transmission in progress");
+        prof::count(Cost::QueueOps);
         self.transmitting = false;
         let packet = self
             .queue

@@ -89,6 +89,25 @@ pub fn manifest_capture_active() -> bool {
         .unwrap_or(false)
 }
 
+/// True when manifest folds from the calling thread have somewhere to
+/// go: a thread capture collecting manifests, or (when no capture is
+/// active on this thread) the process-global accumulator. The hook
+/// simulators use to decide whether keeping extra summary state (e.g.
+/// queue-depth histograms) will ever be observed.
+pub fn manifest_sink_active() -> bool {
+    let in_capture = THREAD_CAPTURE.with(|slot| {
+        slot.borrow()
+            .as_ref()
+            .map(|capture| capture.manifest.is_some())
+    });
+    match in_capture {
+        // a capture is active: the global is shadowed, so only the
+        // capture's own manifest channel counts
+        Some(collecting) => collecting,
+        None => manifest_capture_active(),
+    }
+}
+
 /// Replays captured events into the process-global recorder, in order.
 /// A no-op when no global recorder is installed.
 pub fn replay_into_global(events: &[OwnedEvent]) {

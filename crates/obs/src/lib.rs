@@ -28,6 +28,10 @@
 //!   counts.
 //! * [`merge`] — the deterministic join-order folding of per-worker
 //!   recorders, metrics and manifest fragments.
+//! * [`prof`] — performance observability: wall-clock-free hot-path
+//!   cost counters (legal everywhere under lint rule D1) and
+//!   hierarchical span timers whose clock is injected by the harness,
+//!   so real-time reads stay confined to `exec`/`bench`.
 //!
 //! The environment this workspace builds in is offline, so everything
 //! here is hand-rolled on `std` only (no `tracing`, no `metrics`, no
@@ -39,10 +43,12 @@ pub mod json;
 pub mod manifest;
 pub mod merge;
 pub mod metrics;
+pub mod prof;
 pub mod record;
 
 pub use event::{Event, Field, OwnedEvent, OwnedValue, Phase, Value};
 pub use manifest::{LinkSnapshot, RunManifest};
 pub use merge::Merge;
 pub use metrics::{Counter, Gauge, LogLinearHistogram};
+pub use prof::{Cost, Profile, SpanGuard};
 pub use record::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, SharedRecorder};

@@ -17,6 +17,7 @@
 
 use crate::manifest::{LinkSnapshot, RunManifest};
 use crate::metrics::{Counter, Gauge, LogLinearHistogram};
+use crate::prof::Profile;
 use crate::record::MemoryRecorder;
 
 /// Fold another instance of the same observable into `self`.
@@ -61,6 +62,12 @@ impl Merge for LinkSnapshot {
 impl Merge for RunManifest {
     fn merge_from(&mut self, other: &Self) {
         self.absorb(other.clone());
+    }
+}
+
+impl Merge for Profile {
+    fn merge_from(&mut self, other: &Self) {
+        Profile::merge_from(self, other);
     }
 }
 
@@ -142,6 +149,21 @@ mod tests {
         let mut merged = MemoryRecorder::new();
         merge_in_order(&mut merged, &workers);
         assert_eq!(merged.events(), serial.events());
+    }
+
+    #[test]
+    fn profiles_fold_span_trees_by_name() {
+        let mut worker0 = Profile::new();
+        worker0.record_path(&["exec.job"], 2, 100);
+        worker0.record_path(&["exec.job", "pathload"], 2, 80);
+        let mut worker1 = Profile::new();
+        worker1.record_path(&["exec.job"], 1, 50);
+        worker1.record_path(&["exec.job", "spruce"], 1, 40);
+        let mut merged = Profile::new();
+        merge_in_order(&mut merged, &[worker0, worker1]);
+        assert_eq!(merged.node_stats(&["exec.job"]), Some((3, 150)));
+        assert_eq!(merged.node_stats(&["exec.job", "pathload"]), Some((2, 80)));
+        assert_eq!(merged.node_stats(&["exec.job", "spruce"]), Some((1, 40)));
     }
 
     #[test]

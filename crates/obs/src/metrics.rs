@@ -438,6 +438,46 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_on_empty_histogram_are_none() {
+        let h = LogLinearHistogram::for_latency_ns();
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+        let s = h.summary_json();
+        assert!(s.contains("\"count\":0"));
+        assert!(s.contains("\"mean\":null"));
+        assert!(s.contains("\"p50\":null"));
+        assert!(s.contains("\"p99\":null"));
+    }
+
+    #[test]
+    fn quantiles_in_the_overflow_bucket_report_the_recorded_max() {
+        let mut h = LogLinearHistogram::new(16, 4, 2); // top bound 64
+        h.record(17);
+        h.record_n(1_000, 8); // all mass beyond the top bound
+        h.record(5_000);
+        // p50 and up land in overflow: the exact recorded max is the
+        // only honest answer the histogram can give there
+        assert_eq!(h.quantile(0.5), Some(5_000));
+        assert_eq!(h.quantile(0.99), Some(5_000));
+        // below the overflow mass the regular buckets still answer
+        assert_eq!(h.quantile(0.0), Some(20), "17 sits in [16,20)");
+        let s = h.summary_json();
+        assert!(s.contains("\"overflow\":9"));
+        assert!(s.contains("\"p99\":5000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_first_bound_and_doublings() {
+        // same sub-bucket count; differing bound/doublings must still
+        // panic deterministically rather than misassign mass
+        let mut a = LogLinearHistogram::new(16, 4, 2);
+        let b = LogLinearHistogram::new(32, 4, 3);
+        a.merge(&b);
+    }
+
+    #[test]
     fn summary_json_shape() {
         let mut h = LogLinearHistogram::new(16, 4, 2);
         h.record(20);

@@ -35,6 +35,9 @@ fn per_child_trace(base: &Path, bin: &str) -> PathBuf {
 }
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("all") {
+        return;
+    }
     let full = std::env::args().any(|a| a == "--full");
     let trace_base = std::env::var_os("ABW_TRACE").map(PathBuf::from);
     let bins = [

@@ -9,6 +9,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::tight_vs_narrow::{self, TightVsNarrowConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("exp_capacity") {
+        return;
+    }
     let mut session = Session::start("exp_capacity");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

@@ -8,6 +8,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::latency_accuracy::{self, LatencyAccuracyConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("exp_faster") {
+        return;
+    }
     let mut session = Session::start("exp_faster");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

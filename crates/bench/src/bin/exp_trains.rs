@@ -7,6 +7,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::train_length::{self, TrainLengthConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("exp_trains") {
+        return;
+    }
     let mut session = Session::start("exp_trains");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

@@ -8,6 +8,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::trend_thresholds::{self, TrendThresholdsConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("exp_trend") {
+        return;
+    }
     let mut session = Session::start("exp_trend");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

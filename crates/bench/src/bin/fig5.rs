@@ -10,6 +10,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::owd_vs_rate::{self, OwdVsRateConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("fig5") {
+        return;
+    }
     let mut session = Session::start("fig5");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

@@ -8,6 +8,9 @@ use abw_bench::{f, format_from_args, Format, Session, Table};
 use abw_core::experiments::tcp_throughput::{self, TcpThroughputConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("fig7") {
+        return;
+    }
     let mut session = Session::start("fig7");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

@@ -1,0 +1,145 @@
+//! The scenario fuzzer: random valid specs driven through armed
+//! `ABW_CHECK` invariants and tool-level sanity checks, failures shrunk
+//! to minimal committed-format reproducer specs.
+//!
+//! Usage: `fuzz_scenarios [--seed S] [--count N] [--jobs J]
+//!                        [--repro-dir DIR] [--shrink-budget B]
+//!                        [--quick] [--csv]`
+//!
+//! `--quick` pins the CI smoke configuration: seed `0xF522`, 25
+//! scenarios. Exits non-zero when any scenario fails a check; shrunk
+//! reproducers are written to `--repro-dir` (default
+//! `target/fuzz-repros`) so CI can upload them as artifacts.
+//!
+//! The run is bit-reproducible: same `--seed` and `--count` produce the
+//! same specs, the same verdicts and the same report fingerprint for
+//! any `--jobs` value or `ABW_JOBS` setting.
+
+use std::path::PathBuf;
+
+use abw_bench::{format_from_args, Format, Session, Table};
+use abw_core::scenario::fuzz::{self, FuzzConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut session = Session::start("fuzz_scenarios");
+    let format = format_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let mut config = FuzzConfig::new(if quick { 0xF522 } else { 1 }, if quick { 25 } else { 50 });
+    if let Some(seed) = arg_value(&args, "--seed").and_then(|s| parse_seed(&s)) {
+        config.seed = seed;
+    }
+    if let Some(count) = arg_value(&args, "--count").and_then(|s| s.parse().ok()) {
+        config.count = count;
+    }
+    if let Some(jobs) = arg_value(&args, "--jobs").and_then(|s| s.parse().ok()) {
+        config.jobs = jobs;
+    }
+    if let Some(budget) = arg_value(&args, "--shrink-budget").and_then(|s| s.parse().ok()) {
+        config.shrink_budget = budget;
+    }
+    config.repro_dir = Some(
+        arg_value(&args, "--repro-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/fuzz-repros")),
+    );
+
+    session
+        .manifest()
+        .param_str("mode", if quick { "quick" } else { "full" })
+        .param_u64("seed", config.seed)
+        .param_u64("count", u64::from(config.count))
+        .param_u64("jobs", config.jobs as u64)
+        .param_u64("shrink_budget", u64::from(config.shrink_budget));
+
+    // a failing scenario panics (by design: armed invariants report by
+    // panicking) up to shrink_budget times while shrinking — silence
+    // the default hook's per-panic backtrace spam for the run
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = fuzz::run(&config);
+    std::panic::set_hook(default_hook);
+
+    session
+        .manifest()
+        .param_bool("invariants_active", report.invariants_active)
+        .param_str("fingerprint", &format!("{:016x}", report.fingerprint))
+        .counter("fuzz.scenarios", u64::from(report.scenarios))
+        .counter("fuzz.outcomes", report.outcomes)
+        .counter("fuzz.failures", report.failures.len() as u64);
+
+    if !report.invariants_active {
+        eprintln!(
+            "warning: ABW_CHECK invariants are compiled out of this build \
+             (release profile) — rerun with a debug build for full checking"
+        );
+    }
+
+    if format == Format::Text {
+        println!(
+            "Scenario fuzz: seed 0x{:X}, {} scenarios, {} verdicts checked, \
+             fingerprint {:016x}, invariants {}",
+            report.seed,
+            report.scenarios,
+            report.outcomes,
+            report.fingerprint,
+            if report.invariants_active {
+                "active"
+            } else {
+                "COMPILED OUT"
+            },
+        );
+        println!();
+    }
+
+    let mut table = Table::new(vec!["scenario", "status", "detail"]);
+    if report.failures.is_empty() {
+        table.row(vec![
+            format!("{} specs", report.scenarios),
+            "ok".to_string(),
+            "all checks passed".to_string(),
+        ]);
+    }
+    for failure in &report.failures {
+        let repro = failure
+            .repro_path
+            .as_ref()
+            .map(|p| format!(" (repro: {})", p.display()))
+            .unwrap_or_default();
+        table.row(vec![
+            failure.spec.name.clone(),
+            "FAIL".to_string(),
+            format!(
+                "{} [shrunk to {} hop(s)/{} tool(s) in {} evals]{}",
+                failure.message,
+                failure.shrunk.hops.len(),
+                failure.shrunk.tools.len().max(1),
+                failure.shrink_evals,
+                repro,
+            ),
+        ]);
+    }
+    table.print(format);
+
+    let failed = !report.failures.is_empty();
+    session.finish();
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,9 @@ use abw_bench::{format_from_args, Format, Session};
 use abw_core::experiments::loss_sweep::{self, LossSweepConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("loss_sweep") {
+        return;
+    }
     let mut session = Session::start("loss_sweep");
     let format = format_from_args();
     let args: Vec<String> = std::env::args().collect();

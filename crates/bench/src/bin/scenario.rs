@@ -1,0 +1,23 @@
+//! Runs a declarative `.scn` scenario spec through the tool registry.
+//!
+//! Usage: `scenario <file.scn> [--csv]`
+//! (also accepts the flag form `scenario --scenario <file.scn>`)
+//!
+//! See `tests/golden/scenarios/` for committed example specs and the
+//! README's "Describing scenarios" section for the grammar.
+
+use abw_bench::scenario::{run_scenario_file, scenario_arg};
+
+fn main() {
+    let path = scenario_arg().or_else(|| {
+        std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .map(std::path::PathBuf::from)
+    });
+    let Some(path) = path else {
+        eprintln!("usage: scenario <file.scn> [--csv]");
+        std::process::exit(2);
+    };
+    run_scenario_file("scenario", &path);
+}

@@ -10,6 +10,9 @@ use abw_core::experiments::shootout::{self, ShootoutConfig};
 use abw_core::scenario::CrossKind;
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("shootout") {
+        return;
+    }
     let mut session = Session::start("shootout");
     let format = format_from_args();
     let args: Vec<String> = std::env::args().collect();

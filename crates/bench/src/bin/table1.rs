@@ -9,6 +9,9 @@ use abw_bench::{format_from_args, Format, Session};
 use abw_core::experiments::pairs_vs_trains::{self, PairsVsTrainsConfig};
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("table1") {
+        return;
+    }
     let mut session = Session::start("table1");
     let format = format_from_args();
     let quick = std::env::args().any(|a| a == "--quick");

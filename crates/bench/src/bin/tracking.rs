@@ -11,6 +11,9 @@ use abw_core::experiments::tracking::{self, TrackingConfig};
 use abw_core::tools::registry;
 
 fn main() {
+    if abw_bench::scenario::maybe_run_scenario("tracking") {
+        return;
+    }
     let mut session = Session::start("tracking");
     let format = format_from_args();
     let args: Vec<String> = std::env::args().collect();

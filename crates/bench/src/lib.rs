@@ -33,6 +33,7 @@ use abw_obs::{JsonlRecorder, RunManifest};
 
 pub mod perf;
 pub mod reports;
+pub mod scenario;
 
 /// Monotonic nanoseconds since the first call, for
 /// [`abw_obs::prof::enable`]. Lives here (not in `abw-obs`) because the

@@ -229,11 +229,15 @@ impl StreamResult {
     }
 
     /// Gaps of consecutive (by sequence) packet pairs: `(input gap,
-    /// output gap)` in seconds. Pairs broken by a loss are skipped.
+    /// output gap)` in seconds. Pairs broken by a loss are skipped, and
+    /// so are pairs whose arrival order was inverted by reordering or
+    /// jitter — a negative output gap is not a dispersion sample (found
+    /// by the scenario fuzzer: the subtraction underflowed and
+    /// panicked).
     pub fn pair_gaps(&self) -> Vec<(f64, f64)> {
         self.records
             .windows(2)
-            .filter(|w| w[1].seq == w[0].seq + 1)
+            .filter(|w| w[1].seq == w[0].seq + 1 && w[1].recv_at >= w[0].recv_at)
             .map(|w| {
                 (
                     w[1].sent_at.since(w[0].sent_at).as_secs_f64(),
@@ -761,6 +765,30 @@ mod tests {
         };
         assert_eq!(r.lost(), 0);
         assert_eq!(r.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pair_gaps_skip_reorder_inverted_arrivals() {
+        // seq 1 overtook seq 0 on the wire (reordering): the (0,1) pair
+        // has a negative output gap and must be skipped, not panic; the
+        // (1,2) pair is intact and survives
+        let r = StreamResult {
+            spec: StreamSpec::Periodic {
+                rate_bps: 10e6,
+                size: 1500,
+                count: 3,
+            },
+            stream_id: 0,
+            records: vec![
+                record(0, 0, 2_000),
+                record(1, 500, 1_500),
+                record(2, 1_000, 2_500),
+            ],
+        };
+        let gaps = r.pair_gaps();
+        assert_eq!(gaps.len(), 1);
+        assert!((gaps[0].0 - 500e-9).abs() < 1e-15);
+        assert!((gaps[0].1 - 1_000e-9).abs() < 1e-15);
     }
 
     #[test]

@@ -18,6 +18,9 @@ use abw_traffic::{
 
 use crate::probe::{ProbeReceiver, ProbeRunner, ProbeSender, Session};
 
+pub mod dsl;
+pub mod fuzz;
+
 /// Cross-traffic model on a link (Figure 3's three models plus the
 /// Pareto-interarrival UDP traffic of Figure 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +36,7 @@ pub enum CrossKind {
 }
 
 /// One hop of a scenario: a link plus its cross traffic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HopSpec {
     /// Link capacity in bits/s.
     pub capacity_bps: f64,

@@ -198,13 +198,31 @@ impl ImpairmentConfig {
     /// | `flap` | `time:rate[;time:rate…]` | `flap=2s:25e6;4s:50e6` |
     ///
     /// Durations take `ns`/`us`/`ms`/`s` suffixes. An empty string
-    /// parses to [`ImpairmentConfig::none`].
+    /// parses to [`ImpairmentConfig::none`]. A repeated key or an empty
+    /// item (a trailing or doubled comma) is a parse error — near-miss
+    /// specs must fail loudly rather than silently last-wins, since
+    /// generated specs (the scenario fuzzer) exercise exactly those
+    /// corners.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut config = ImpairmentConfig::none();
-        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if spec.trim().is_empty() {
+            return Ok(config);
+        }
+        let mut seen: Vec<String> = Vec::new();
+        for item in spec.split(',').map(str::trim) {
+            if item.is_empty() {
+                return Err("empty impairment item (trailing or doubled comma?)".to_string());
+            }
             let (key, value) = item
                 .split_once('=')
                 .ok_or_else(|| format!("impairment item `{item}` is not key=value"))?;
+            let key_name = key.trim().to_string();
+            if seen.contains(&key_name) {
+                return Err(format!(
+                    "repeated impairment key `{key_name}` (each key may appear once)"
+                ));
+            }
+            seen.push(key_name);
             match key.trim() {
                 "loss" => {
                     config.loss = LossModel::Iid {
@@ -257,6 +275,52 @@ impl ImpairmentConfig {
         config.validated()
     }
 
+    /// Renders the configuration back to its canonical kebab-case spec
+    /// string — the exact inverse of [`ImpairmentConfig::parse`]:
+    /// `parse(&cfg.to_spec())` reproduces `cfg` bit-for-bit (floats are
+    /// printed with their shortest round-trip representation, durations
+    /// as an integer count of the largest exact unit). A no-op
+    /// configuration renders as the empty string.
+    pub fn to_spec(&self) -> String {
+        let mut items: Vec<String> = Vec::new();
+        match self.loss {
+            LossModel::None => {}
+            LossModel::Iid { p } => items.push(format!("loss={p}")),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_bad,
+                loss_good,
+            } => {
+                let mut s = format!("ge-loss={p_good_to_bad}:{p_bad_to_good}:{loss_bad}");
+                if loss_good > 0.0 {
+                    s.push_str(&format!(":{loss_good}"));
+                }
+                items.push(s);
+            }
+        }
+        if let Some(r) = self.reorder {
+            items.push(format!("reorder={}:{}", r.prob, fmt_duration(r.extra)));
+        }
+        if let Some(j) = self.jitter {
+            items.push(format!("jitter={}", fmt_duration(j)));
+        }
+        if !self.flaps.is_empty() {
+            let steps: Vec<String> = self
+                .flaps
+                .iter()
+                .map(|&(at, rate)| {
+                    format!(
+                        "{}:{rate}",
+                        fmt_duration(at.saturating_since(SimTime::ZERO))
+                    )
+                })
+                .collect();
+            items.push(format!("flap={}", steps.join(";")));
+        }
+        items.join(", ")
+    }
+
     fn validated(self) -> Result<Self, String> {
         self.loss.validate();
         if let Some(r) = self.reorder {
@@ -285,6 +349,28 @@ fn parse_prob(s: &str) -> Result<f64, String> {
         Ok(p)
     } else {
         Err(format!("probability `{s}` out of [0, 1]"))
+    }
+}
+
+/// Renders a duration as an integer count of the largest unit that
+/// divides it exactly (`500ms`, `250us`, `1536ns`) — the canonical
+/// inverse of [`parse_duration`]. An integer count keeps the round trip
+/// exact: `parse_duration` multiplies in `f64` and rounds to the
+/// nearest nanosecond, which reproduces `n * unit_nanos` exactly for
+/// every integer `n` below 2^52.
+pub fn fmt_duration(d: SimDuration) -> String {
+    let ns = d.as_nanos();
+    if ns == 0 {
+        return "0s".to_string();
+    }
+    if ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        format!("{}us", ns / 1_000)
+    } else {
+        format!("{ns}ns")
     }
 }
 
@@ -573,6 +659,62 @@ mod tests {
         assert!(ImpairmentConfig::parse("flap=2s:0").is_err());
         assert!(ImpairmentConfig::parse("flap=4s:1e6;2s:2e6").is_err());
         assert!(ImpairmentConfig::parse("reorder=0.1").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_repeated_keys() {
+        // last-wins would silently drop the first value — generated
+        // near-miss specs must fail loudly instead
+        let err = ImpairmentConfig::parse("loss=0.01, loss=0.02").unwrap_err();
+        assert!(err.contains("repeated impairment key `loss`"), "{err}");
+        let err = ImpairmentConfig::parse("jitter=1ms, loss=0.1, jitter=2ms").unwrap_err();
+        assert!(err.contains("repeated impairment key `jitter`"), "{err}");
+        // ...including a repeat that would have parsed identically
+        assert!(ImpairmentConfig::parse("loss=0.01,loss=0.01").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_and_doubled_commas() {
+        for bad in ["loss=0.01,", "loss=0.01,,jitter=1ms", ",loss=0.01"] {
+            let err = ImpairmentConfig::parse(bad).unwrap_err();
+            assert!(err.contains("empty impairment item"), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn to_spec_round_trips() {
+        let specs = [
+            "",
+            "loss=0.01",
+            "ge-loss=0.05:0.4:0.5",
+            "ge-loss=0.05:0.4:0.5:0.001",
+            "loss=0.013, reorder=0.05:2ms, jitter=500us, flap=2s:25000000;4s:51300000.5",
+            "jitter=1536ns",
+        ];
+        for spec in specs {
+            let cfg = ImpairmentConfig::parse(spec).unwrap();
+            let rendered = cfg.to_spec();
+            let reparsed = ImpairmentConfig::parse(&rendered)
+                .unwrap_or_else(|e| panic!("`{rendered}` does not re-parse: {e}"));
+            assert_eq!(cfg, reparsed, "spec `{spec}` -> `{rendered}`");
+        }
+        // the canonical rendering is itself a fixpoint
+        let cfg = ImpairmentConfig::parse("loss=0.25,   jitter=250us").unwrap();
+        assert_eq!(cfg.to_spec(), "loss=0.25, jitter=250us");
+        assert_eq!(ImpairmentConfig::none().to_spec(), "");
+    }
+
+    #[test]
+    fn fmt_duration_picks_largest_exact_unit() {
+        assert_eq!(fmt_duration(SimDuration::ZERO), "0s");
+        assert_eq!(fmt_duration(SimDuration::from_secs(2)), "2s");
+        assert_eq!(fmt_duration(SimDuration::from_millis(500)), "500ms");
+        assert_eq!(fmt_duration(SimDuration::from_micros(1500)), "1500us");
+        assert_eq!(fmt_duration(SimDuration::from_nanos(1536)), "1536ns");
+        for ns in [1u64, 999, 1_000, 123_456, 7_000_000, 86_400_000_000_000] {
+            let d = SimDuration::from_nanos(ns);
+            assert_eq!(parse_duration(&fmt_duration(d)).unwrap(), d, "{ns}ns");
+        }
     }
 
     #[test]

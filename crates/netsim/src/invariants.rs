@@ -63,6 +63,18 @@ mod imp {
 
 pub use imp::{arm, armed};
 
+/// True when arming the checks can actually take effect in this build.
+///
+/// Release builds compile every invariant out ([`armed`] is
+/// `const false`), so a harness that *relies* on the checks firing —
+/// the scenario fuzzer arms them and treats a violation as a found
+/// bug — must be able to tell "armed and active" apart from "armed
+/// but compiled out", and warn rather than report a silently
+/// check-free run.
+pub const fn checks_compiled_in() -> bool {
+    cfg!(debug_assertions)
+}
+
 /// Checks `$cond` when the invariants are armed; panics with the
 /// formatted message on violation. The condition and message operands
 /// are not evaluated while disarmed, so checks may walk queues freely.

@@ -144,6 +144,18 @@ impl RunManifest {
         self
     }
 
+    /// Records a scenario parameter with a boolean value (JSON
+    /// `true`/`false` — the fuzz harness records whether the
+    /// `ABW_CHECK` invariants were live this way, so a manifest can
+    /// never pass a check-free run off as a checked one).
+    pub fn param_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.params.push((
+            key.to_string(),
+            if value { "true" } else { "false" }.to_string(),
+        ));
+        self
+    }
+
     /// Records a named counter value.
     pub fn counter(&mut self, name: &str, value: u64) -> &mut Self {
         self.counters.push((name.to_string(), value));
@@ -272,6 +284,7 @@ mod tests {
             .param_u64("hops", 3)
             .param_f64("capacity_mbps", 100.0)
             .param_str("tool", "pathload")
+            .param_bool("checked", true)
             .counter("injected", 10)
             .counter("delivered", 9);
         m.sim_time_ns = 1_000_000_000;
@@ -294,6 +307,7 @@ mod tests {
         assert!(json.contains("\"hops\":3"));
         assert!(json.contains("\"capacity_mbps\":100"));
         assert!(json.contains("\"tool\":\"pathload\""));
+        assert!(json.contains("\"checked\":true"));
         assert!(json.contains("\"counters\":{\"injected\":10,\"delivered\":9}"));
         assert!(json.contains("\"forwarded_pkts\":9"));
         assert!(json.contains("\"impaired_pkts\":2"));

@@ -15,7 +15,7 @@ use rand::RngExt;
 /// let mix = SizeDist::internet_mix();
 /// assert_eq!(mix.mean(), 539.0); // 0.5*40 + 0.25*576 + 0.25*1500
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SizeDist {
     /// Every packet has the same size.
     Constant(u32),

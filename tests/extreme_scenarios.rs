@@ -1,0 +1,61 @@
+//! Extreme-but-valid scenarios: the corners of the spec space where
+//! estimators historically fall over — an idle path (zero cross
+//! traffic), a nearly saturated path (99% utilisation), and a queue one
+//! packet deep (every second probe can be dropped).
+//!
+//! Each spec is parsed from DSL text and pushed through the fuzzer's
+//! own `evaluate` gauntlet: exact round-trip, serial ≡ parallel
+//! execution, and verdict sanity (finite estimate or a documented
+//! clamped range, positive probe count) for **every** registry tool.
+
+use abwe::core::scenario::dsl::ScenarioSpec;
+use abwe::core::scenario::fuzz;
+use abwe::core::tools::registry;
+
+fn evaluate_all_tools(src: &str, name: &str) {
+    let spec = ScenarioSpec::parse(src, name).expect("extreme spec must parse");
+    // no `tools` line: the whole registry runs
+    assert!(spec.tools.is_empty());
+    let outcomes = fuzz::evaluate(&spec, 2, None)
+        .unwrap_or_else(|e| panic!("{name} failed the fuzz gauntlet: {e}"));
+    assert_eq!(
+        outcomes.len(),
+        registry::all().len() * spec.seeds.len() * spec.rounds as usize,
+        "{name}: every registry tool must produce a verdict"
+    );
+}
+
+#[test]
+fn idle_path_zero_cross_traffic() {
+    evaluate_all_tools(
+        "scenario extreme-idle\n\
+         seeds = 7\n\
+         \n\
+         hop capacity=50000000 latency=1ms cross=cbr cross-rate=0 cross-sizes=1500\n",
+        "extreme-idle.scn",
+    );
+}
+
+#[test]
+fn saturated_path_99_percent_utilisation() {
+    evaluate_all_tools(
+        "scenario extreme-saturated\n\
+         seeds = 7\n\
+         \n\
+         hop capacity=50000000 latency=1ms cross=poisson cross-rate=49500000 \
+         cross-sizes=1500\n",
+        "extreme-saturated.scn",
+    );
+}
+
+#[test]
+fn queue_one_packet_deep() {
+    evaluate_all_tools(
+        "scenario extreme-shallow-queue\n\
+         seeds = 7\n\
+         \n\
+         hop capacity=50000000 latency=1ms cross=poisson cross-rate=25000000 \
+         cross-sizes=1500 queue=1500\n",
+        "extreme-shallow-queue.scn",
+    );
+}

@@ -1,0 +1,80 @@
+//! End-to-end contract of the scenario fuzzer.
+//!
+//! 1. Bit-reproducibility: the same seed and count produce the same
+//!    report fingerprint on every run and for every worker count —
+//!    `fuzz_scenarios --seed S --count N` is a stable CI artifact.
+//! 2. Bug-finding: a deliberately injected invariant violation is
+//!    caught, shrunk to a minimal spec, and written as a reproducer
+//!    file in the committed format that parses back to the shrunk spec.
+
+use std::path::Path;
+
+use abwe::core::scenario::dsl::{ScenarioSpec, SpecOutcome};
+use abwe::core::scenario::fuzz::{self, FuzzConfig};
+
+#[test]
+fn fingerprint_is_reproducible_across_runs_and_worker_counts() {
+    // seed 3 generates two light scenarios (~seconds per sweep) — some
+    // seeds land on 99%-utilisation multi-hop specs that take minutes,
+    // which is fuzz-run budget, not unit-test budget
+    let mut config = FuzzConfig::new(3, 2);
+    config.jobs = 1;
+    let first = fuzz::run(&config);
+    assert!(
+        first.failures.is_empty(),
+        "clean seed must produce no failures: {:?}",
+        first
+            .failures
+            .iter()
+            .map(|f| &f.message)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(first.scenarios, 2);
+    assert!(first.outcomes > 0);
+
+    let second = fuzz::run(&config);
+    assert_eq!(first.fingerprint, second.fingerprint, "same run, same bits");
+
+    config.jobs = 4;
+    let parallel = fuzz::run(&config);
+    assert_eq!(
+        first.fingerprint, parallel.fingerprint,
+        "worker count must not change the verdicts"
+    );
+}
+
+fn injected_violation(_spec: &ScenarioSpec, _outcomes: &[SpecOutcome]) -> Result<(), String> {
+    Err("injected invariant violation".to_string())
+}
+
+#[test]
+fn injected_violation_is_caught_shrunk_and_reproduced() {
+    let repro_dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fuzz-repros");
+    let mut config = FuzzConfig::new(3, 1);
+    config.jobs = 1;
+    config.shrink_budget = 12;
+    config.repro_dir = Some(repro_dir.clone());
+    config.extra_check = Some(injected_violation);
+
+    let report = fuzz::run(&config);
+    assert_eq!(report.failures.len(), 1, "the violation must be caught");
+    let failure = &report.failures[0];
+    assert!(failure.message.contains("injected invariant violation"));
+
+    // shrunk to the minimum the injected check allows: one hop, one
+    // seed, one tool, one round
+    assert_eq!(failure.shrunk.hops.len(), 1);
+    assert_eq!(failure.shrunk.seeds.len(), 1);
+    assert_eq!(failure.shrunk.tools.len(), 1);
+    assert_eq!(failure.shrunk.rounds, 1);
+    assert!(failure.shrink_evals > 0);
+
+    // the reproducer file is the shrunk spec in committed format
+    let path = failure.repro_path.as_ref().expect("reproducer written");
+    assert!(path.starts_with(&repro_dir));
+    let src = std::fs::read_to_string(path).expect("reproducer readable");
+    let reparsed =
+        ScenarioSpec::parse(&src, path.to_str().unwrap()).expect("reproducer must parse");
+    assert_eq!(&reparsed, &failure.shrunk);
+    assert!(reparsed.name.ends_with("-min"), "got `{}`", reparsed.name);
+}

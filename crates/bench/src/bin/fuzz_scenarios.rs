@@ -4,12 +4,19 @@
 //!
 //! Usage: `fuzz_scenarios [--seed S] [--count N] [--jobs J]
 //!                        [--repro-dir DIR] [--shrink-budget B]
-//!                        [--quick] [--csv]`
+//!                        [--max-scenario-ms MS] [--quick] [--csv]`
 //!
 //! `--quick` pins the CI smoke configuration: seed `0xF522`, 25
-//! scenarios. Exits non-zero when any scenario fails a check; shrunk
-//! reproducers are written to `--repro-dir` (default
-//! `target/fuzz-repros`) so CI can upload them as artifacts.
+//! scenarios, a 30 s simulated-time budget per `(tool, seed)` cell.
+//! Exits non-zero when any scenario fails a check; shrunk reproducers
+//! are written to `--repro-dir` (default `target/fuzz-repros`) so CI
+//! can upload them as artifacts.
+//!
+//! `--max-scenario-ms` bounds each cell's *simulated* probing time: a
+//! cell still running at the deadline is counted as a timeout, not a
+//! failure (the 99 %-utilisation multi-hop palette corners legitimately
+//! probe for minutes). The budget is mixed into the report fingerprint,
+//! so bounded and unbounded runs never compare equal by accident.
 //!
 //! The run is bit-reproducible: same `--seed` and `--count` produce the
 //! same specs, the same verdicts and the same report fingerprint for
@@ -42,6 +49,14 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
 
     let mut config = FuzzConfig::new(if quick { 0xF522 } else { 1 }, if quick { 25 } else { 50 });
+    if quick {
+        // keep the CI smoke leg bounded: no single palette corner may
+        // eat the whole job's wall clock
+        config.max_scenario_ms = Some(30_000);
+    }
+    if let Some(ms) = arg_value(&args, "--max-scenario-ms").and_then(|s| s.parse().ok()) {
+        config.max_scenario_ms = Some(ms);
+    }
     if let Some(seed) = arg_value(&args, "--seed").and_then(|s| parse_seed(&s)) {
         config.seed = seed;
     }
@@ -66,7 +81,8 @@ fn main() {
         .param_u64("seed", config.seed)
         .param_u64("count", u64::from(config.count))
         .param_u64("jobs", config.jobs as u64)
-        .param_u64("shrink_budget", u64::from(config.shrink_budget));
+        .param_u64("shrink_budget", u64::from(config.shrink_budget))
+        .param_u64("max_scenario_ms", config.max_scenario_ms.unwrap_or(0));
 
     // a failing scenario panics (by design: armed invariants report by
     // panicking) up to shrink_budget times while shrinking — silence
@@ -82,6 +98,7 @@ fn main() {
         .param_str("fingerprint", &format!("{:016x}", report.fingerprint))
         .counter("fuzz.scenarios", u64::from(report.scenarios))
         .counter("fuzz.outcomes", report.outcomes)
+        .counter("fuzz.timeouts", report.timeouts)
         .counter("fuzz.failures", report.failures.len() as u64);
 
     if !report.invariants_active {
@@ -93,11 +110,12 @@ fn main() {
 
     if format == Format::Text {
         println!(
-            "Scenario fuzz: seed 0x{:X}, {} scenarios, {} verdicts checked, \
-             fingerprint {:016x}, invariants {}",
+            "Scenario fuzz: seed 0x{:X}, {} scenarios, {} verdicts checked \
+             ({} cell(s) timed out), fingerprint {:016x}, invariants {}",
             report.seed,
             report.scenarios,
             report.outcomes,
+            report.timeouts,
             report.fingerprint,
             if report.invariants_active {
                 "active"

@@ -31,6 +31,7 @@ pub struct BenchRecord {
     /// Metric within the workload (`packets_per_sec`, `wall_ms`, …).
     pub metric: String,
     /// The measured value.
+    // lint: allow(units) -- unit carried by the adjacent `unit` field
     pub value: f64,
     /// Unit string; `…/s` marks a throughput, anything else a cost.
     pub unit: String,
@@ -154,10 +155,13 @@ pub struct Delta {
     /// `bench/metric jobs=n` identifier.
     pub id: String,
     /// Previous value.
+    // lint: allow(units) -- unit carried by the adjacent `unit` field
     pub old: f64,
     /// Current value.
+    // lint: allow(units) -- unit carried by the adjacent `unit` field
     pub new: f64,
     /// Signed relative change, `new/old - 1`.
+    // lint: allow(units) -- signed relative change, dimensionless
     pub change: f64,
     /// True when the change is in the bad direction for the unit.
     pub regression: bool,

@@ -445,6 +445,35 @@ impl<'r> Session<'r> {
         }
     }
 
+    /// Drives `tool` until it finishes or the simulated clock reaches
+    /// `deadline`, whichever comes first. `None` means the deadline cut
+    /// the round short: the estimator is abandoned mid-decision and the
+    /// session is reset (round stamp cleared, any load ramp paused) so
+    /// the caller can start a fresh round on the same session.
+    ///
+    /// The check runs between steps — one step materialises a whole
+    /// probing stream and drains it — so the clock can overshoot the
+    /// deadline by up to one stream's duration, never by more.
+    pub fn drive_until(
+        &mut self,
+        sim: &mut Simulator,
+        tool: &mut dyn Estimator,
+        deadline: SimTime,
+    ) -> Option<Verdict> {
+        let _prof = abw_obs::prof::span("session.drive");
+        loop {
+            if sim.now() >= deadline {
+                self.round_start = None;
+                self.last = None;
+                self.pause_load(sim);
+                return None;
+            }
+            if let Some(verdict) = self.step(sim, tool) {
+                return Some(verdict);
+            }
+        }
+    }
+
     fn execute(&mut self, sim: &mut Simulator, spec: ProbeSpec) -> Observation {
         match spec {
             ProbeSpec::Stream { spec, pre_gap } => {

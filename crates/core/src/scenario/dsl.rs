@@ -685,6 +685,32 @@ pub struct SpecOutcome {
     pub verdict: Verdict,
 }
 
+/// One `(tool, seed, round)` cell abandoned at the simulated-time
+/// budget of [`run_spec_bounded`]. A timeout is an *outcome class*, not
+/// a failure: the palette's 99 %-utilisation multi-hop corners
+/// legitimately take minutes of simulated probing, and a bounded run
+/// records that they ran long instead of stalling on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecTimeout {
+    /// Registry name of the tool.
+    pub tool: &'static str,
+    /// The seed this cell ran with.
+    pub seed: u64,
+    /// 0-based round the deadline interrupted; later rounds of the cell
+    /// are skipped (they would start already past the deadline).
+    pub round: u32,
+}
+
+/// The outcomes and timeouts of one [`run_spec_bounded`] call.
+#[derive(Debug, Clone, Default)]
+pub struct BoundedRun {
+    /// Verdicts of the cells that finished, tool-major in submission
+    /// order — byte-identical for any worker count.
+    pub outcomes: Vec<SpecOutcome>,
+    /// Cells the budget cut short, in the same deterministic order.
+    pub timeouts: Vec<SpecTimeout>,
+}
+
 /// Drives a spec through the registry: one job per `(tool, seed)` cell
 /// fanned across `exec`, each building its own [`Scenario::from_spec`]
 /// replica and driving `rounds` fresh estimators over one live session
@@ -693,6 +719,25 @@ pub struct SpecOutcome {
 /// tool-major in submission order — byte-identical for any worker
 /// count.
 pub fn run_spec(spec: &ScenarioSpec, exec: &Executor) -> Vec<SpecOutcome> {
+    run_spec_bounded(spec, exec, None).outcomes
+}
+
+/// [`run_spec`] with an optional per-cell simulated-time budget.
+///
+/// Each `(tool, seed)` cell gets `max_scenario` of *simulated* time
+/// measured from the end of its warm-up; a round that is still probing
+/// at the deadline is abandoned via [`Session::drive_until`] and
+/// recorded as a [`SpecTimeout`] instead of a verdict (the cell's
+/// remaining rounds are skipped). `None` reproduces [`run_spec`]
+/// exactly. The budget is part of the run's identity: the same spec
+/// under a different budget may yield a different outcome list.
+///
+/// [`Session::drive_until`]: crate::probe::Session::drive_until
+pub fn run_spec_bounded(
+    spec: &ScenarioSpec,
+    exec: &Executor,
+    max_scenario: Option<SimDuration>,
+) -> BoundedRun {
     let entries = spec.tool_entries();
     let tool_config = spec.tool_config();
     let rounds = spec.rounds;
@@ -706,33 +751,49 @@ pub fn run_spec(spec: &ScenarioSpec, exec: &Executor) -> Vec<SpecOutcome> {
                 let tool_config = tool_config.clone();
                 move || {
                     let mut s = Scenario::from_spec(&spec, seed);
+                    let deadline = max_scenario.map(|d| s.sim.now() + d);
                     let mut session = s.session();
-                    (0..rounds)
-                        .map(|_| {
-                            let mut tool = entry.build(&tool_config);
-                            session.drive(&mut s.sim, tool.as_mut())
-                        })
-                        .collect::<Vec<Verdict>>()
+                    let mut verdicts: Vec<Verdict> = Vec::with_capacity(rounds as usize);
+                    for _ in 0..rounds {
+                        let mut tool = entry.build(&tool_config);
+                        let verdict = match deadline {
+                            Some(t) => session.drive_until(&mut s.sim, tool.as_mut(), t),
+                            None => Some(session.drive(&mut s.sim, tool.as_mut())),
+                        };
+                        match verdict {
+                            Some(v) => verdicts.push(v),
+                            None => break,
+                        }
+                    }
+                    verdicts
                 }
             })
         })
         .collect();
     let cells = exec.run(jobs);
 
-    let mut outcomes = Vec::with_capacity(cells.len() * rounds as usize);
+    let mut run = BoundedRun::default();
     for (i, verdicts) in cells.into_iter().enumerate() {
         let entry = entries[i / spec.seeds.len()];
         let seed = spec.seeds[i % spec.seeds.len()];
+        let finished = verdicts.len() as u32;
         for (round, verdict) in verdicts.into_iter().enumerate() {
-            outcomes.push(SpecOutcome {
+            run.outcomes.push(SpecOutcome {
                 tool: entry.name,
                 seed,
                 round: round as u32,
                 verdict,
             });
         }
+        if finished < rounds {
+            run.timeouts.push(SpecTimeout {
+                tool: entry.name,
+                seed,
+                round: finished,
+            });
+        }
     }
-    outcomes
+    run
 }
 
 #[cfg(test)]
@@ -894,6 +955,65 @@ mod tests {
             from_spec.measure_from,
             SimTime::ZERO + SimDuration::from_millis(500)
         );
+    }
+
+    #[test]
+    fn bounded_run_times_out_and_unbounded_matches_run_spec() {
+        let spec = parse(
+            "scenario bounded\nseeds = 11\ntools = spruce\n\
+             hop capacity=50000000 cross-rate=25000000\n",
+        );
+        // a 1 ms simulated budget cannot fit a spruce round: the cell
+        // must come back as a timeout, not a verdict (and not a panic)
+        let tight = run_spec_bounded(
+            &spec,
+            &Executor::serial(),
+            Some(SimDuration::from_millis(1)),
+        );
+        assert!(tight.outcomes.is_empty(), "no round fits 1 ms");
+        assert_eq!(
+            tight.timeouts,
+            vec![SpecTimeout {
+                tool: "spruce",
+                seed: 11,
+                round: 0
+            }]
+        );
+
+        // a generous budget changes nothing: bit-identical verdicts
+        let unbounded = run_spec(&spec, &Executor::serial());
+        let generous = run_spec_bounded(
+            &spec,
+            &Executor::serial(),
+            Some(SimDuration::from_secs(600)),
+        );
+        assert!(generous.timeouts.is_empty());
+        assert_eq!(unbounded.len(), generous.outcomes.len());
+        for (a, b) in unbounded.iter().zip(&generous.outcomes) {
+            assert_eq!(
+                a.verdict.avail_bps().to_bits(),
+                b.verdict.avail_bps().to_bits()
+            );
+            assert_eq!(a.verdict.probe_packets(), b.verdict.probe_packets());
+        }
+    }
+
+    #[test]
+    fn timed_out_session_can_start_a_fresh_round() {
+        // rounds = 2 with a budget that cuts round 0: the timeout must
+        // leave the session reusable and skip the remaining round
+        let spec = parse(
+            "scenario two-rounds\nseeds = 7\nrounds = 2\ntools = spruce\n\
+             hop capacity=50000000 cross-rate=25000000\n",
+        );
+        let run = run_spec_bounded(
+            &spec,
+            &Executor::serial(),
+            Some(SimDuration::from_millis(1)),
+        );
+        assert!(run.outcomes.is_empty());
+        assert_eq!(run.timeouts.len(), 1, "one timeout per cell, not per round");
+        assert_eq!(run.timeouts[0].round, 0);
     }
 
     #[test]

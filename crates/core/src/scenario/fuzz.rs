@@ -48,7 +48,7 @@ use abw_traffic::SizeDist;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use crate::scenario::dsl::{self, ScenarioSpec, SpecOutcome};
+use crate::scenario::dsl::{self, BoundedRun, ScenarioSpec, SpecOutcome};
 use crate::scenario::{CrossKind, HopSpec};
 use crate::tools::registry;
 use crate::tools::Verdict;
@@ -73,6 +73,14 @@ pub struct FuzzConfig {
     pub extra_check: Option<SpecCheck>,
     /// Maximum spec evaluations spent shrinking one failure.
     pub shrink_budget: u32,
+    /// Per-cell *simulated*-time budget, in milliseconds (`None` =
+    /// unbounded). A `(tool, seed)` cell still probing at the deadline
+    /// is recorded as a timeout, not a failure — the palette's
+    /// 99 %-utilisation multi-hop corners legitimately run long, and
+    /// the CI smoke leg must not stall on them. The budget feeds the
+    /// report fingerprint: bounded and unbounded runs are different
+    /// experiments and must not compare equal.
+    pub max_scenario_ms: Option<u64>,
 }
 
 impl FuzzConfig {
@@ -85,6 +93,7 @@ impl FuzzConfig {
             repro_dir: None,
             extra_check: None,
             shrink_budget: 48,
+            max_scenario_ms: None,
         }
     }
 }
@@ -121,6 +130,9 @@ pub struct FuzzReport {
     /// equal fingerprints mean bit-identical verdicts (the
     /// reproducibility tests compare this across runs and job counts).
     pub fingerprint: u64,
+    /// Cells cut short by the simulated-time budget across all passing
+    /// scenarios (always 0 when `max_scenario_ms` is `None`).
+    pub timeouts: u64,
     /// Failures found, in generation order.
     pub failures: Vec<FuzzFailure>,
     /// Whether the `ABW_CHECK` invariants were actually live (they
@@ -140,22 +152,50 @@ pub fn run(config: &FuzzConfig) -> FuzzReport {
         scenarios: 0,
         outcomes: 0,
         fingerprint: 0xcbf29ce484222325, // FNV-1a offset basis
+        timeouts: 0,
         failures: Vec::new(),
         invariants_active: invariants::checks_compiled_in(),
     };
+    // the budget is part of the run's identity: a timed-out cell's
+    // verdicts are missing from the outcome stream, so runs under
+    // different budgets must never fingerprint equal
+    match config.max_scenario_ms {
+        Some(ms) => fnv_mix(
+            &mut report.fingerprint,
+            format!("max-scenario-ms={ms}").as_bytes(),
+        ),
+        None => fnv_mix(&mut report.fingerprint, b"max-scenario-ms=none"),
+    }
     for index in 0..config.count {
         let spec = gen_spec(&mut rng, config.seed, index);
         report.scenarios += 1;
-        match evaluate(&spec, config.jobs, config.extra_check) {
-            Ok(outcomes) => {
-                report.outcomes += outcomes.len() as u64;
-                for o in &outcomes {
+        match evaluate(
+            &spec,
+            config.jobs,
+            config.extra_check,
+            config.max_scenario_ms,
+        ) {
+            Ok(run) => {
+                report.outcomes += run.outcomes.len() as u64;
+                report.timeouts += run.timeouts.len() as u64;
+                for o in &run.outcomes {
                     fnv_mix(&mut report.fingerprint, outcome_line(o).as_bytes());
+                }
+                for t in &run.timeouts {
+                    fnv_mix(
+                        &mut report.fingerprint,
+                        format!("timeout,{},{},{}", t.tool, t.seed, t.round).as_bytes(),
+                    );
                 }
             }
             Err(message) => {
-                let (mut shrunk, shrink_evals) =
-                    shrink(&spec, config.jobs, config.extra_check, config.shrink_budget);
+                let (mut shrunk, shrink_evals) = shrink(
+                    &spec,
+                    config.jobs,
+                    config.extra_check,
+                    config.shrink_budget,
+                    config.max_scenario_ms,
+                );
                 shrunk.name = format!("{}-min", spec.name);
                 let repro_path = config
                     .repro_dir
@@ -261,12 +301,16 @@ pub fn gen_spec(rng: &mut StdRng, run_seed: u64, index: u32) -> ScenarioSpec {
 }
 
 /// Runs every check against one spec. `Ok` carries the (serial)
-/// outcomes for fingerprinting; `Err` carries the first failure.
+/// outcomes and timeouts for fingerprinting; `Err` carries the first
+/// failure. A cell hitting the `max_scenario_ms` simulated-time budget
+/// is a timeout, never a failure — but serial and parallel legs must
+/// still agree on *which* cells timed out.
 pub fn evaluate(
     spec: &ScenarioSpec,
     jobs: usize,
     extra_check: Option<SpecCheck>,
-) -> Result<Vec<SpecOutcome>, String> {
+    max_scenario_ms: Option<u64>,
+) -> Result<BoundedRun, String> {
     // 1. round trip (cheap: no simulation)
     let rendered = spec.to_spec();
     match ScenarioSpec::parse(&rendered, "<canonical>") {
@@ -277,28 +321,38 @@ pub fn evaluate(
         Ok(_) => {}
     }
 
+    let budget = max_scenario_ms.map(SimDuration::from_millis);
+
     // 2. serial run; a panic here is usually an armed ABW_CHECK report
     let serial = catch_unwind(AssertUnwindSafe(|| {
-        dsl::run_spec(spec, &Executor::serial())
+        dsl::run_spec_bounded(spec, &Executor::serial(), budget)
     }))
     .map_err(|p| format!("panic during serial run: {}", panic_message(&p)))?;
 
     // 3. parallel run must agree bit-for-bit
     let exec = Executor::new(jobs.max(2));
-    let parallel = catch_unwind(AssertUnwindSafe(|| dsl::run_spec(spec, &exec)))
-        .map_err(|p| format!("panic during parallel run: {}", panic_message(&p)))?;
-    if serial.len() != parallel.len() {
+    let parallel = catch_unwind(AssertUnwindSafe(|| {
+        dsl::run_spec_bounded(spec, &exec, budget)
+    }))
+    .map_err(|p| format!("panic during parallel run: {}", panic_message(&p)))?;
+    if serial.outcomes.len() != parallel.outcomes.len() {
         return Err(format!(
             "serial/parallel outcome counts differ: {} vs {}",
-            serial.len(),
-            parallel.len()
+            serial.outcomes.len(),
+            parallel.outcomes.len()
         ));
     }
-    for (a, b) in serial.iter().zip(&parallel) {
+    for (a, b) in serial.outcomes.iter().zip(&parallel.outcomes) {
         let (la, lb) = (outcome_line(a), outcome_line(b));
         if la != lb {
             return Err(format!("serial/parallel divergence: `{la}` vs `{lb}`"));
         }
+    }
+    if serial.timeouts != parallel.timeouts {
+        return Err(format!(
+            "serial/parallel timeout divergence: {:?} vs {:?}",
+            serial.timeouts, parallel.timeouts
+        ));
     }
 
     // 4. verdict sanity
@@ -308,7 +362,7 @@ pub fn evaluate(
     // honestly reports up to ~1.6x capacity (see its
     // `idle_path_reports_top_of_chirp` test)
     let cap = 2.0 * spec.narrow_capacity_bps();
-    for o in &serial {
+    for o in &serial.outcomes {
         let avail = o.verdict.avail_bps();
         let clamped = matches!(&o.verdict, Verdict::Range(r) if r.clamped);
         if clamped {
@@ -337,9 +391,9 @@ pub fn evaluate(
         }
     }
 
-    // 5. injected checks
+    // 5. injected checks (on the cells that finished)
     if let Some(check) = extra_check {
-        check(spec, &serial)?;
+        check(spec, &serial.outcomes)?;
     }
     Ok(serial)
 }
@@ -368,6 +422,7 @@ pub fn shrink(
     jobs: usize,
     extra_check: Option<SpecCheck>,
     budget: u32,
+    max_scenario_ms: Option<u64>,
 ) -> (ScenarioSpec, u32) {
     let mut best = spec.clone();
     let mut evals = 0u32;
@@ -376,7 +431,7 @@ pub fn shrink(
             return false;
         }
         *evals += 1;
-        evaluate(cand, jobs, extra_check).is_err()
+        evaluate(cand, jobs, extra_check, max_scenario_ms).is_err()
     };
 
     loop {
@@ -582,11 +637,11 @@ mod tests {
             ],
             ..ScenarioSpec::default()
         };
-        assert!(evaluate(&spec, 2, Some(impaired_fails)).is_err());
-        let (shrunk, evals) = shrink(&spec, 2, Some(impaired_fails), 24);
+        assert!(evaluate(&spec, 2, Some(impaired_fails), None).is_err());
+        let (shrunk, evals) = shrink(&spec, 2, Some(impaired_fails), 24, None);
         assert!(evals > 0 && evals <= 24);
         assert!(
-            evaluate(&shrunk, 2, Some(impaired_fails)).is_err(),
+            evaluate(&shrunk, 2, Some(impaired_fails), None).is_err(),
             "shrunk spec must still fail"
         );
         assert_eq!(shrunk.hops.len(), 1, "the clean hop should be dropped");

@@ -36,7 +36,7 @@ pub struct BfindConfig {
     pub probe_size: u32,
     /// A hop is flagged when its median RTT exceeds the baseline by this
     /// many seconds.
-    pub rtt_threshold: f64,
+    pub rtt_threshold_s: f64,
 }
 
 impl Default for BfindConfig {
@@ -49,7 +49,7 @@ impl Default for BfindConfig {
             trace_interval: SimDuration::from_millis(25),
             load_packet_size: 1000,
             probe_size: 60,
-            rtt_threshold: 2e-3,
+            rtt_threshold_s: 2e-3,
         }
     }
 }
@@ -164,7 +164,7 @@ impl Estimator for BfindEstimator {
             if rtt.is_nan() || base.is_nan() {
                 continue;
             }
-            if rtt - base > self.config.rtt_threshold {
+            if rtt - base > self.config.rtt_threshold_s {
                 flagged = Some(hop);
                 break;
             }

@@ -105,6 +105,7 @@ pub struct CapacityEstimator {
 impl Estimator for CapacityEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("capacity probing sends pairs");
             if let Some(&(_, g_out)) = result.pair_gaps().first() {
                 if g_out > 0.0 {
@@ -129,7 +130,7 @@ impl Estimator for CapacityEstimator {
             Action::Done(Verdict::Capacity(CapacityReport {
                 capacity_bps: capacity,
                 samples: running.summary(),
-                usable_pairs: self.estimates.len() as u32,
+                usable_pairs: u32::try_from(self.estimates.len()).unwrap_or(u32::MAX),
                 probe_packets: self.config.pairs as u64 * 2,
             }))
         }

@@ -118,8 +118,8 @@ impl Delphi {
     pub fn estimator(&self) -> DelphiEstimator {
         DelphiEstimator {
             config: self.config.clone(),
-            estimate: self.config.initial_rate_bps / self.config.headroom,
-            rate: self.config.initial_rate_bps,
+            estimate_bps: self.config.initial_rate_bps / self.config.headroom,
+            rate_bps: self.config.initial_rate_bps,
             samples: Running::new(),
             steps: Vec::with_capacity(self.config.trains as usize),
             packets: 0,
@@ -135,9 +135,9 @@ impl Delphi {
 #[derive(Debug, Clone)]
 pub struct DelphiEstimator {
     config: DelphiConfig,
-    estimate: f64,
+    estimate_bps: f64,
     /// Input rate of the train in flight (or about to be sent).
-    rate: f64,
+    rate_bps: f64,
     samples: Running,
     steps: Vec<DelphiStep>,
     packets: u64,
@@ -149,8 +149,9 @@ impl Estimator for DelphiEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         let ct = self.config.tight_capacity_bps;
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("Delphi sends streams");
-            let rate = self.rate;
+            let rate = self.rate_bps;
             self.packets += result.spec.count() as u64;
 
             let sample = result.output_rate_bps().and_then(|ro| {
@@ -164,13 +165,13 @@ impl Estimator for DelphiEstimator {
             match sample {
                 Some(a) => {
                     self.samples.push(a);
-                    self.estimate =
-                        (1.0 - self.config.alpha) * self.estimate + self.config.alpha * a;
+                    self.estimate_bps =
+                        (1.0 - self.config.alpha) * self.estimate_bps + self.config.alpha * a;
                 }
                 None => {
                     // train did not overload: the avail-bw is at least Ri,
                     // raise the floor so the next train probes higher
-                    self.estimate = self.estimate.max(rate);
+                    self.estimate_bps = self.estimate_bps.max(rate);
                 }
             }
             self.events.push(ToolEvent::new(
@@ -179,26 +180,26 @@ impl Estimator for DelphiEstimator {
                     ("iter", self.steps.len().into()),
                     ("ri_bps", rate.into()),
                     ("sample_bps", sample.unwrap_or(f64::NAN).into()),
-                    ("estimate_bps", self.estimate.into()),
+                    ("estimate_bps", self.estimate_bps.into()),
                 ],
             ));
             self.steps.push(DelphiStep {
                 ri_bps: rate,
                 sample_bps: sample,
-                estimate_bps: self.estimate,
+                estimate_bps: self.estimate_bps,
             });
-            self.rate = (self.estimate * self.config.headroom).min(ct * 0.98);
+            self.rate_bps = (self.estimate_bps * self.config.headroom).min(ct * 0.98);
         }
         if self.sent < self.config.trains {
             self.sent += 1;
             Action::Send(ProbeSpec::stream(StreamSpec::Periodic {
-                rate_bps: self.rate,
+                rate_bps: self.rate_bps,
                 size: self.config.packet_size,
                 count: self.config.packets_per_train,
             }))
         } else {
             Action::Done(Verdict::Delphi(DelphiReport {
-                avail_bps: self.estimate,
+                avail_bps: self.estimate_bps,
                 samples: self.samples.summary(),
                 steps: std::mem::take(&mut self.steps),
                 probe_packets: self.packets,

@@ -109,6 +109,7 @@ impl DirectEstimator {
 impl Estimator for DirectEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("direct probing sends streams");
             self.packets += result.spec.count() as u64;
             if let Some(a) = self.prober.sample(result) {

@@ -132,7 +132,7 @@ impl Igi {
         IgiEstimator {
             tool: self.clone(),
             ptr,
-            rate: self.config.initial_rate_bps,
+            rate_bps: self.config.initial_rate_bps,
             sent: 0,
             packets: 0,
             last: None,
@@ -150,7 +150,7 @@ pub struct IgiEstimator {
     /// Report as [`Verdict::Ptr`] instead of [`Verdict::Igi`].
     ptr: bool,
     /// Input rate of the train in flight (or about to be sent).
-    rate: f64,
+    rate_bps: f64,
     /// Trains sent so far (the 1-based iteration counter).
     sent: u32,
     packets: u64,
@@ -175,11 +175,12 @@ impl Estimator for IgiEstimator {
         let config = &self.tool.config;
         let l_bits = config.packet_size as f64 * 8.0;
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("IGI sends trains");
             self.packets += result.spec.count() as u64;
-            let g_in = l_bits / self.rate;
+            let g_in = l_bits / self.rate_bps;
             if let Some((igi, ptr)) = self.tool.analyse_train(result, g_in) {
-                self.last = Some((igi, ptr, self.rate, self.sent));
+                self.last = Some((igi, ptr, self.rate_bps, self.sent));
                 // turning point: output gaps no longer exceed input gaps
                 let gaps = result.pair_gaps();
                 let avg_out: f64 = gaps.iter().map(|&(_, g)| g).sum::<f64>() / gaps.len() as f64;
@@ -188,7 +189,7 @@ impl Estimator for IgiEstimator {
                     "igi.train",
                     vec![
                         ("iter", u64::from(self.sent).into()),
-                        ("rate_bps", self.rate.into()),
+                        ("rate_bps", self.rate_bps.into()),
                         ("g_in_s", g_in.into()),
                         ("avg_g_out_s", avg_out.into()),
                         ("igi_bps", igi.into()),
@@ -200,26 +201,29 @@ impl Estimator for IgiEstimator {
                     let report = IgiReport {
                         igi_bps: igi,
                         ptr_bps: ptr,
-                        turning_rate_bps: self.rate,
+                        turning_rate_bps: self.rate_bps,
                         iterations: self.sent,
                         probe_packets: self.packets,
                     };
                     return Action::Done(self.verdict(report));
                 }
             }
-            self.rate /= config.gap_growth;
+            self.rate_bps /= config.gap_growth;
         }
         if self.sent < config.max_iterations {
             self.sent += 1;
             Action::Send(ProbeSpec::stream(StreamSpec::Periodic {
-                rate_bps: self.rate,
+                rate_bps: self.rate_bps,
                 size: config.packet_size,
                 count: config.packets_per_train,
             }))
         } else {
-            // never converged: report the last train's numbers
+            // never converged: report the last train's numbers; if no
+            // train ever produced usable gaps (e.g. total loss), fall
+            // back to the current probe state rather than panicking
             let (igi, ptr, rate, iterations) =
-                self.last.expect("at least one train must produce gaps");
+                self.last
+                    .unwrap_or((self.rate_bps, self.rate_bps, self.rate_bps, self.sent));
             let report = IgiReport {
                 igi_bps: igi,
                 ptr_bps: ptr,

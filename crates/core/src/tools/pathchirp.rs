@@ -33,7 +33,7 @@ pub struct PathchirpConfig {
     pub chirps: u32,
     /// A queueing delay above this threshold (seconds) counts as
     /// "excursion" — absorbs sub-packet-time jitter.
-    pub delay_threshold: f64,
+    pub delay_threshold_s: f64,
 }
 
 impl Default for PathchirpConfig {
@@ -44,7 +44,7 @@ impl Default for PathchirpConfig {
             packets_per_chirp: 24,
             packet_size: 1000,
             chirps: 30,
-            delay_threshold: 60e-6,
+            delay_threshold_s: 60e-6,
         }
     }
 }
@@ -88,10 +88,13 @@ impl Pathchirp {
             .records
             .windows(2)
             .enumerate()
-            .filter(|(_, w)| w[1].seq == w[0].seq + 1)
-            .map(|(i, w)| {
-                let g_in = w[1].sent_at.since(w[0].sent_at).as_secs_f64();
-                (self.config.packet_size as f64 * 8.0 / g_in, owds[i + 1])
+            .filter_map(|(i, w)| match w {
+                [a, b] if b.seq == a.seq + 1 => {
+                    let g_in = b.sent_at.since(a.sent_at).as_secs_f64();
+                    let rate = self.config.packet_size as f64 * 8.0 / g_in;
+                    owds.get(i + 1).map(|&q| (rate, q))
+                }
+                _ => None,
             })
             .collect();
         if pairs.is_empty() {
@@ -100,13 +103,15 @@ impl Pathchirp {
 
         // last start of a run that stays above the threshold to the end
         let mut j_star = None;
-        let mut k = pairs.len();
-        while k > 0 && pairs[k - 1].1 > self.config.delay_threshold {
-            k -= 1;
-            j_star = Some(k);
+        for (k, pair) in pairs.iter().enumerate().rev() {
+            if pair.1 > self.config.delay_threshold_s {
+                j_star = Some(k);
+            } else {
+                break;
+            }
         }
-        match j_star {
-            Some(j) => Some(pairs[j].0),
+        match j_star.and_then(|j| pairs.get(j)) {
+            Some(pair) => Some(pair.0),
             // never overloaded: avail-bw is at least the top probed rate
             None => pairs.last().map(|p| p.0),
         }
@@ -148,6 +153,7 @@ pub struct PathchirpEstimator {
 impl Estimator for PathchirpEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("pathChirp sends chirps");
             self.packets += result.spec.count() as u64;
             if let Some(e) = self.tool.chirp_estimate(result) {

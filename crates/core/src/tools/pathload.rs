@@ -139,10 +139,10 @@ impl Pathload {
     pub fn estimator(&self) -> PathloadEstimator {
         PathloadEstimator {
             config: self.config.clone(),
-            lo: self.config.min_rate_bps,
-            hi: self.config.max_rate_bps,
-            grey_lo: f64::INFINITY,
-            grey_hi: f64::NEG_INFINITY,
+            lo_bps: self.config.min_rate_bps,
+            hi_bps: self.config.max_rate_bps,
+            grey_lo_bps: f64::INFINITY,
+            grey_hi_bps: f64::NEG_INFINITY,
             fleets: Vec::new(),
             packets: 0,
             fleet: None,
@@ -225,11 +225,11 @@ impl FleetMachine {
 #[derive(Debug, Clone)]
 pub struct PathloadEstimator {
     config: PathloadConfig,
-    lo: f64,
-    hi: f64,
+    lo_bps: f64,
+    hi_bps: f64,
     /// Grey-region bounds observed during the search.
-    grey_lo: f64,
-    grey_hi: f64,
+    grey_lo_bps: f64,
+    grey_hi_bps: f64,
     fleets: Vec<(f64, FleetVerdict, f64)>,
     packets: u64,
     /// The fleet in flight, if any.
@@ -240,9 +240,11 @@ pub struct PathloadEstimator {
 impl Estimator for PathloadEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("Pathload sends streams");
             self.fleet
                 .as_mut()
+                // lint: allow(panic_free) -- an observation only arrives for a fleet's own Send
                 .expect("observation with no fleet in flight")
                 .observe(result, &self.config);
         }
@@ -253,23 +255,24 @@ impl Estimator for PathloadEstimator {
                         return Action::Send(ProbeSpec::stream(spec));
                     }
                     // fleet complete: vote and update the search bracket
+                    // lint: allow(panic_free) -- taken inside the Some arm of the match above
                     let fleet = self.fleet.take().expect("fleet present");
                     let rate = fleet.rate_bps;
                     let (verdict, fraction, pkts) = fleet.tally(&self.config);
                     self.packets += pkts;
                     self.fleets.push((rate, verdict, fraction));
                     match verdict {
-                        FleetVerdict::Above => self.hi = rate,
-                        FleetVerdict::Below => self.lo = rate,
+                        FleetVerdict::Above => self.hi_bps = rate,
+                        FleetVerdict::Below => self.lo_bps = rate,
                         FleetVerdict::Grey => {
-                            self.grey_lo = self.grey_lo.min(rate);
-                            self.grey_hi = self.grey_hi.max(rate);
+                            self.grey_lo_bps = self.grey_lo_bps.min(rate);
+                            self.grey_hi_bps = self.grey_hi_bps.max(rate);
                             // a grey rate is inside the variation range:
                             // tighten both sides toward it so the search
                             // can terminate
-                            let quarter = (self.hi - self.lo) / 4.0;
-                            self.lo = (rate - quarter).max(self.lo);
-                            self.hi = (rate + quarter).min(self.hi);
+                            let quarter = (self.hi_bps - self.lo_bps) / 4.0;
+                            self.lo_bps = (rate - quarter).max(self.lo_bps);
+                            self.hi_bps = (rate + quarter).min(self.hi_bps);
                         }
                     }
                     self.events.push(ToolEvent::new(
@@ -279,20 +282,20 @@ impl Estimator for PathloadEstimator {
                             ("rate_bps", rate.into()),
                             ("verdict", verdict.as_str().into()),
                             ("inc_fraction", fraction.into()),
-                            ("lo_bps", self.lo.into()),
-                            ("hi_bps", self.hi.into()),
+                            ("lo_bps", self.lo_bps.into()),
+                            ("hi_bps", self.hi_bps.into()),
                         ],
                     ));
                 }
                 None => {
-                    if self.hi - self.lo > self.config.resolution_bps {
-                        self.fleet = Some(FleetMachine::new((self.lo + self.hi) / 2.0));
+                    if self.hi_bps - self.lo_bps > self.config.resolution_bps {
+                        self.fleet = Some(FleetMachine::new((self.lo_bps + self.hi_bps) / 2.0));
                         continue;
                     }
                     // widen the final bracket by any grey rates seen
                     // outside it
-                    let range_lo = self.lo.min(self.grey_lo);
-                    let range_hi = self.hi.max(self.grey_hi);
+                    let range_lo = self.lo_bps.min(self.grey_lo_bps);
+                    let range_hi = self.hi_bps.max(self.grey_hi_bps);
                     self.events.push(ToolEvent::new(
                         "pathload.result",
                         vec![

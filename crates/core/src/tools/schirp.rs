@@ -33,6 +33,7 @@ pub struct SchirpConfig {
     pub smoothing_window: usize,
     /// Smoothed delay slope above this (seconds per pair) marks the
     /// overload onset.
+    // lint: allow(units) -- compound unit (seconds per pair) outside the suffix vocabulary
     pub slope_threshold: f64,
 }
 
@@ -72,6 +73,7 @@ impl Schirp {
             .map(|i| {
                 let lo = i.saturating_sub(w / 2);
                 let hi = (i + w.div_ceil(2)).min(xs.len());
+                // lint: allow(panic_free) -- lo <= i < hi <= len by construction
                 xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
             })
             .collect()
@@ -91,10 +93,13 @@ impl Schirp {
             .records
             .windows(2)
             .enumerate()
-            .filter(|(_, w)| w[1].seq == w[0].seq + 1)
-            .map(|(i, w)| {
-                let g_in = w[1].sent_at.since(w[0].sent_at).as_secs_f64();
-                (self.config.packet_size as f64 * 8.0 / g_in, owds[i + 1])
+            .filter_map(|(i, w)| match w {
+                [a, b] if b.seq == a.seq + 1 => {
+                    let g_in = b.sent_at.since(a.sent_at).as_secs_f64();
+                    let rate = self.config.packet_size as f64 * 8.0 / g_in;
+                    owds.get(i + 1).map(|&q| (rate, q))
+                }
+                _ => None,
             })
             .unzip();
         if rates.is_empty() {
@@ -105,13 +110,14 @@ impl Schirp {
         // onset: the last index from which the smoothed delays increase
         // by at least the threshold per pair, through to the chirp's end
         let mut onset = None;
-        let mut k = q.len();
-        while k >= 2 && q[k - 1] - q[k - 2] > self.config.slope_threshold {
-            k -= 1;
-            onset = Some(k - 1);
+        for (k, w) in q.windows(2).enumerate().rev() {
+            match w {
+                [prev, cur] if cur - prev > self.config.slope_threshold => onset = Some(k),
+                _ => break,
+            }
         }
         match onset {
-            Some(j) => Some(rates[j.min(rates.len() - 1)]),
+            Some(j) => rates.get(j).or(rates.last()).copied(),
             None => rates.last().copied(),
         }
     }
@@ -147,6 +153,7 @@ pub struct SchirpEstimator {
 impl Estimator for SchirpEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("S-chirp sends chirps");
             self.packets += result.spec.count() as u64;
             if let Some(e) = self.tool.chirp_estimate(result) {

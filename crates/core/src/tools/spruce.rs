@@ -109,6 +109,7 @@ pub struct SpruceEstimator {
 impl Estimator for SpruceEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("Spruce sends pairs");
             self.packets += 2;
             if let Some(a) = self.tool.sample(result) {

@@ -105,7 +105,7 @@ impl Topp {
     pub fn estimator(&self) -> ToppEstimator {
         ToppEstimator {
             tool: self.clone(),
-            rate: self.config.min_rate_bps,
+            rate_bps: self.config.min_rate_bps,
             in_round: 0,
             gout: Running::new(),
             points: Vec::new(),
@@ -121,7 +121,7 @@ impl Topp {
         let threshold = 1.0 + self.config.tolerance;
         let mut turning_idx = points.len();
         for start in 0..points.len() {
-            if points[start..].iter().all(|p| p.ratio > threshold) {
+            if points.iter().skip(start).all(|p| p.ratio > threshold) {
                 turning_idx = start;
                 break;
             }
@@ -130,10 +130,9 @@ impl Topp {
             .get(turning_idx)
             .map_or(self.config.max_rate_bps, |p| p.ri_bps);
         // base estimate: the last non-expanding rate
-        let base_avail = if turning_idx == 0 {
-            self.config.min_rate_bps
-        } else {
-            points[turning_idx - 1].ri_bps
+        let base_avail = match turning_idx.checked_sub(1).and_then(|i| points.get(i)) {
+            Some(p) => p.ri_bps,
+            None => self.config.min_rate_bps,
         };
 
         // refinement: fluid model above the turning point is linear in Ri.
@@ -141,7 +140,7 @@ impl Topp {
         // so the regression is only accepted when it (a) explains the
         // points (r² ≥ 0.6) and (b) lands near the turning point it is
         // supposed to refine — otherwise the turning point stands.
-        let supra: Vec<&ToppPoint> = points[turning_idx..].iter().collect();
+        let supra: Vec<&ToppPoint> = points.iter().skip(turning_idx).collect();
         let (avail, ct) = if supra.len() >= 3 {
             let xs: Vec<f64> = supra.iter().map(|p| p.ri_bps).collect();
             let ys: Vec<f64> = supra.iter().map(|p| p.ratio).collect();
@@ -180,7 +179,7 @@ impl Topp {
 pub struct ToppEstimator {
     tool: Topp,
     /// Offered rate of the current round.
-    rate: f64,
+    rate_bps: f64,
     /// Trains observed so far at the current rate.
     in_round: u32,
     /// Output-gap accumulator of the current round. Averaging the
@@ -198,6 +197,7 @@ impl Estimator for ToppEstimator {
     fn next(&mut self, last: Option<&Observation>) -> Action {
         let config = &self.tool.config;
         if let Some(obs) = last {
+            // lint: allow(panic_free) -- reply kind matches the request this estimator issued
             let result = obs.stream().expect("TOPP sends trains");
             self.packets += result.spec.count() as u64;
             for &(_, g_out) in &result.pair_gaps() {
@@ -213,26 +213,26 @@ impl Estimator for ToppEstimator {
                         "topp.round",
                         vec![
                             ("iter", self.points.len().into()),
-                            ("ri_bps", self.rate.into()),
+                            ("ri_bps", self.rate_bps.into()),
                             ("ro_bps", ro_mean.into()),
-                            ("ratio", (self.rate / ro_mean).into()),
+                            ("ratio", (self.rate_bps / ro_mean).into()),
                         ],
                     ));
                     self.points.push(ToppPoint {
-                        ri_bps: self.rate,
+                        ri_bps: self.rate_bps,
                         ro_bps: ro_mean,
-                        ratio: self.rate / ro_mean,
+                        ratio: self.rate_bps / ro_mean,
                     });
                 }
                 self.gout = Running::new();
                 self.in_round = 0;
-                self.rate += config.step_bps;
+                self.rate_bps += config.step_bps;
             }
         }
-        if self.rate <= config.max_rate_bps + 1e-9 {
+        if self.rate_bps <= config.max_rate_bps + 1e-9 {
             Action::Send(ProbeSpec::Stream {
                 spec: StreamSpec::Periodic {
-                    rate_bps: self.rate,
+                    rate_bps: self.rate_bps,
                     size: config.packet_size,
                     count: config.packets_per_stream,
                 },

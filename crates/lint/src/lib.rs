@@ -20,16 +20,31 @@
 //! | D4 | `float_eq`     | no `==`/`!=` against float literals |
 //! | D5 | `print`        | no `println!`/`eprintln!` in library crates |
 //! | D6 | `rng`          | no unseeded / ambient RNG construction |
+//! | D7 | `panic_free`   | no `unwrap`/`expect`/`panic!`/indexing/narrowing-`as` in the hot scopes `lint.toml` declares |
+//! | D8 | `units`        | `f64`/`f32` fields carry a unit suffix (`_bps`, `_s`, …); no deny-alias spellings; no mixed-scale arithmetic |
+//! | D9 | `registry`     | every `tools/` module has a registry entry and vice versa, statically |
+//! | L1 | `layering`     | no imports along the deny edges `lint.toml` declares (with a committed import-graph snapshot) |
 //!
-//! Deliberate exceptions carry a `// lint: allow(<name>)` marker on the
-//! same line or the line above. Run it with `cargo run -p abw-lint`;
-//! the exit status is non-zero on any finding. The runtime counterpart
-//! — `ABW_CHECK=1` arming the simulator's invariant checks — lives in
-//! `abw-netsim::invariants` and covers the same failure class from the
-//! dynamic side.
+//! D1–D6 are token rules; D7–D9 and L1 read the item-level parse
+//! ([`parser`]) and the workspace import graph ([`graph`]), configured
+//! by the root `lint.toml` ([`config`]). Deliberate exceptions carry a
+//! `// lint: allow(<name>) -- reason` marker on the same line or the
+//! line above. Run it with `cargo run -p abw-lint`; exit status `1`
+//! means findings, `2` a tool/config error (`--list-rules` prints the
+//! armed table, `--format json|sarif` the machine-readable reports —
+//! see [`output`]). The runtime counterpart — `ABW_CHECK=1` arming the
+//! simulator's invariant checks — lives in `abw-netsim::invariants`
+//! and covers the same failure class from the dynamic side.
 
+pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod output;
+pub mod panic_free;
+pub mod parser;
+pub mod registry_rule;
 pub mod rules;
+pub mod units;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -56,7 +71,7 @@ impl fmt::Display for Report {
             self.finding.col,
             self.finding.rule,
             self.finding.snippet,
-            self.finding.rule.hint()
+            self.finding.full_hint()
         )
     }
 }
@@ -111,30 +126,158 @@ fn classify_targets(crate_name: &str, inside: &[&str]) -> FileContext {
     }
 }
 
-/// Lints one source string under an explicit context.
+/// Lints one source string under an explicit context. Runs the
+/// token-shaped rules (D1–D6) only — the architecture passes need a
+/// workspace; use [`analyze_workspace`] for those.
 pub fn lint_source(ctx: &FileContext, source: &str) -> Vec<Finding> {
     rules::check(ctx, &lexer::tokenize(source))
 }
 
-/// Lints every classified `.rs` file under `root`, in path order (the
-/// walk itself is deterministic — the linter practices what it
-/// preaches). I/O errors on individual files are reported as `Err`.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Report>> {
+/// Lints one source string with every single-file pass armed under the
+/// given config: token rules D1–D6 plus D7 panic-freedom, D8 unit
+/// hygiene and L1 layering. `rel` is the path the file claims to live
+/// at — D7 hot scopes and L1 `from` globs match against it, so fixture
+/// tests can opt a file into a scope by naming it accordingly. D9
+/// needs the workspace on disk and does not run here.
+pub fn lint_source_configured(
+    ctx: &FileContext,
+    rel: &Path,
+    source: &str,
+    config: &config::LintConfig,
+) -> Vec<Finding> {
+    let tokens = lexer::tokenize(source);
+    let model = parser::parse(&tokens);
+    let allows = rules::Allows::from_tokens(&tokens);
+    let rel_str = rel
+        .iter()
+        .filter_map(|c| c.to_str())
+        .collect::<Vec<_>>()
+        .join("/");
+    let mut findings = rules::check(ctx, &tokens);
+    if ctx.enforces(Rule::PanicFree) {
+        findings.extend(panic_free::check(
+            &rel_str,
+            &tokens,
+            &model,
+            &config.panic_free,
+            &allows,
+        ));
+    }
+    if ctx.enforces(Rule::Units) {
+        findings.extend(units::check(&tokens, &model, &config.units, &allows));
+    }
+    if ctx.enforces(Rule::Layering) {
+        let records = graph::file_imports(&tokens, &model);
+        findings.extend(graph::check_layering(
+            &rel_str,
+            &records,
+            &config.layering,
+            &allows,
+        ));
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    findings
+}
+
+/// [`lint_source_configured`] under the embedded workspace contract —
+/// the CLI's `--file` mode.
+pub fn lint_file(ctx: &FileContext, rel: &Path, source: &str) -> Vec<Finding> {
+    lint_source_configured(ctx, rel, source, &config::LintConfig::embedded())
+}
+
+/// Everything one multi-pass run over the workspace produces.
+pub struct WorkspaceAnalysis {
+    /// All findings, sorted by `(file, line, col)`.
+    pub reports: Vec<Report>,
+    /// The rendered crate import-graph snapshot (see
+    /// `graph::render_graph`), for `--write-graph` and the committed
+    /// snapshot test.
+    pub graph: String,
+}
+
+/// Runs every pass — token rules D1–D6, D7 panic-freedom, D8 unit
+/// hygiene, the L1 import-graph layering check, and D9 registry
+/// exhaustiveness — over every classified `.rs` file under `root`, in
+/// path order (the walk itself is deterministic — the linter practices
+/// what it preaches).
+pub fn analyze_workspace(
+    root: &Path,
+    config: &config::LintConfig,
+) -> std::io::Result<WorkspaceAnalysis> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut reports = Vec::new();
+    let mut edges: Vec<(String, String)> = Vec::new();
     for rel in files {
         let Some(ctx) = classify(&rel) else { continue };
         let source = std::fs::read_to_string(root.join(&rel))?;
-        for finding in lint_source(&ctx, &source) {
+        let tokens = lexer::tokenize(&source);
+        let model = parser::parse(&tokens);
+        let allows = rules::Allows::from_tokens(&tokens);
+        let rel_str = rel
+            .iter()
+            .filter_map(|c| c.to_str())
+            .collect::<Vec<_>>()
+            .join("/");
+
+        let mut findings = rules::check(&ctx, &tokens);
+        if ctx.enforces(Rule::PanicFree) {
+            findings.extend(panic_free::check(
+                &rel_str,
+                &tokens,
+                &model,
+                &config.panic_free,
+                &allows,
+            ));
+        }
+        if ctx.enforces(Rule::Units) {
+            findings.extend(units::check(&tokens, &model, &config.units, &allows));
+        }
+        let records = graph::file_imports(&tokens, &model);
+        if ctx.enforces(Rule::Layering) {
+            findings.extend(graph::check_layering(
+                &rel_str,
+                &records,
+                &config.layering,
+                &allows,
+            ));
+        }
+        if ctx.class != FileClass::Test {
+            graph::accumulate_crate_edges(&rel, &records, &mut edges);
+        }
+        for finding in findings {
             reports.push(Report {
                 file: rel.clone(),
                 finding,
             });
         }
     }
-    Ok(reports)
+    for finding in registry_rule::check(root, &config.registry)? {
+        reports.push(Report {
+            file: PathBuf::from(&config.registry.registry_file),
+            finding,
+        });
+    }
+    reports.sort_by(|a, b| {
+        (&a.file, a.finding.line, a.finding.col, a.finding.rule).cmp(&(
+            &b.file,
+            b.finding.line,
+            b.finding.col,
+            b.finding.rule,
+        ))
+    });
+    Ok(WorkspaceAnalysis {
+        reports,
+        graph: graph::render_graph(&edges),
+    })
+}
+
+/// Lints every classified `.rs` file under `root` with every rule
+/// armed under the embedded `lint.toml`. Kept as the simple entry
+/// point for tests; the CLI calls [`analyze_workspace`] directly.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Report>> {
+    Ok(analyze_workspace(root, &config::LintConfig::embedded())?.reports)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,0 +1,451 @@
+//! Machine-readable output: flat JSON, SARIF 2.1.0, and the baseline
+//! file format — plus the minimal JSON reader the baseline needs.
+//!
+//! The linter stays zero-dependency, so both the writer and the reader
+//! are hand-rolled here. The flat schema is the contract CI scripts
+//! parse:
+//!
+//! ```json
+//! [{"rule": "D7", "file": "crates/netsim/src/sim.rs",
+//!   "line": 41, "col": 9, "msg": "`.unwrap()`", "hint": "…"}]
+//! ```
+//!
+//! A baseline file is the same array; matching ignores `line`/`col`
+//! (edits shift lines — a baseline pinned to line numbers would rot on
+//! every unrelated change) and keys on `(rule, file, msg)`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+use crate::Report;
+
+/// One entry of the flat schema, as read back from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatFinding {
+    /// Rule id, e.g. `D7`.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line (0 when absent in a baseline).
+    pub line: u32,
+    /// 1-based column (0 when absent in a baseline).
+    pub col: u32,
+    /// The offending snippet.
+    pub msg: String,
+}
+
+impl FlatFinding {
+    /// The identity used for baseline subtraction: everything except
+    /// position.
+    pub fn key(&self) -> (String, String, String) {
+        (self.rule.clone(), self.file.clone(), self.msg.clone())
+    }
+}
+
+/// A report's identity in baseline terms.
+pub fn report_key(r: &Report) -> (String, String, String) {
+    (
+        r.finding.rule.id().to_string(),
+        r.file.display().to_string(),
+        r.finding.snippet.clone(),
+    )
+}
+
+/// Renders reports as the flat JSON array.
+pub fn to_json(reports: &[Report]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"msg\": {}, \"hint\": {}}}",
+            json_str(r.finding.rule.id()),
+            json_str(&r.file.display().to_string()),
+            r.finding.line,
+            r.finding.col,
+            json_str(&r.finding.snippet),
+            json_str(&r.finding.full_hint()),
+        );
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders reports as minimal SARIF 2.1.0 — one run, one driver, one
+/// result per finding, rule metadata for every rule that fired.
+pub fn to_sarif(reports: &[Report]) -> String {
+    // rule metadata, deduped and ordered by id
+    let mut rules: BTreeMap<&str, Rule> = BTreeMap::new();
+    for r in reports {
+        rules.insert(r.finding.rule.id(), r.finding.rule);
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [{\n");
+    out.push_str("    \"tool\": {\"driver\": {\"name\": \"abw-lint\", \"rules\": [\n");
+    for (i, (id, rule)) in rules.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(rule.name()),
+            json_str(rule.hint()),
+        );
+        out.push_str(if i + 1 < rules.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]}},\n");
+    out.push_str("    \"results\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            json_str(r.finding.rule.id()),
+            json_str(&format!(
+                "`{}` — {}",
+                r.finding.snippet,
+                r.finding.full_hint()
+            )),
+            json_str(&r.file.display().to_string()),
+            r.finding.line,
+            r.finding.col,
+        );
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }]\n}\n");
+    out
+}
+
+/// JSON string literal with escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a flat-schema JSON array (a baseline file, or the linter's
+/// own `--format json` output fed back for validation). Unknown keys
+/// are ignored; `rule`, `file` and `msg` are required per entry.
+pub fn parse_flat(source: &str) -> Result<Vec<FlatFinding>, String> {
+    let mut p = JsonParser {
+        bytes: source.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    let JsonValue::Array(items) = value else {
+        return Err("expected a top-level JSON array".into());
+    };
+    let mut out = Vec::new();
+    for (i, item) in items.into_iter().enumerate() {
+        let JsonValue::Object(map) = item else {
+            return Err(format!("entry {i}: expected an object"));
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match map.get(key) {
+                Some(JsonValue::String(s)) => Ok(s.clone()),
+                Some(_) => Err(format!("entry {i}: `{key}` must be a string")),
+                None => Err(format!("entry {i}: missing required key `{key}`")),
+            }
+        };
+        let get_num = |key: &str| -> Result<u32, String> {
+            match map.get(key) {
+                Some(JsonValue::Number(n)) => Ok(*n as u32),
+                Some(_) => Err(format!("entry {i}: `{key}` must be a number")),
+                None => Ok(0),
+            }
+        };
+        out.push(FlatFinding {
+            rule: get_str("rule")?,
+            file: get_str("file")?,
+            line: get_num("line")?,
+            col: get_num("col")?,
+            msg: get_str("msg")?,
+        });
+    }
+    Ok(out)
+}
+
+enum JsonValue {
+    String(String),
+    Number(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("invalid escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one whole UTF-8 character
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<Report> {
+        vec![
+            Report {
+                file: PathBuf::from("crates/netsim/src/sim.rs"),
+                finding: Finding {
+                    rule: Rule::PanicFree,
+                    line: 41,
+                    col: 9,
+                    snippet: "`.unwrap()`".into(),
+                    note: Some("in hot path Simulator::run_until".into()),
+                },
+            },
+            Report {
+                file: PathBuf::from("crates/stats/src/running.rs"),
+                finding: Finding {
+                    rule: Rule::Units,
+                    line: 7,
+                    col: 5,
+                    snippet: "rate \"quoted\"".into(),
+                    note: None,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let reports = sample();
+        let json = to_json(&reports);
+        let parsed = parse_flat(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].rule, "D7");
+        assert_eq!(parsed[0].file, "crates/netsim/src/sim.rs");
+        assert_eq!(parsed[0].line, 41);
+        assert_eq!(parsed[1].msg, "rate \"quoted\"");
+        assert_eq!(parsed[1].key(), report_key(&reports[1]));
+    }
+
+    #[test]
+    fn empty_report_list_is_an_empty_array() {
+        let parsed = parse_flat(&to_json(&[])).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn sarif_contains_rule_metadata_and_locations() {
+        let sarif = to_sarif(&sample());
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"id\": \"D7\""));
+        assert!(sarif.contains("\"name\": \"panic_free\""));
+        assert!(sarif.contains("\"startLine\": 41"));
+        assert!(sarif.contains("crates/stats/src/running.rs"));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(parse_flat("{\"not\": \"an array\"}").is_err());
+        assert!(
+            parse_flat("[{\"rule\": \"D1\"}]").is_err(),
+            "missing file/msg"
+        );
+        assert!(parse_flat("[1, 2]").is_err());
+        assert!(parse_flat("[] trailing").is_err());
+    }
+
+    #[test]
+    fn baseline_matching_ignores_position() {
+        let baseline = parse_flat(
+            "[{\"rule\": \"D7\", \"file\": \"crates/netsim/src/sim.rs\", \"msg\": \"`.unwrap()`\"}]",
+        )
+        .unwrap();
+        assert_eq!(baseline[0].line, 0);
+        assert_eq!(baseline[0].key(), report_key(&sample()[0]));
+    }
+}

@@ -1,0 +1,311 @@
+//! D7 — panic-freedom in declared hot scopes.
+//!
+//! A panic inside `Simulator::run_until` kills a simulation mid-event;
+//! inside `Link::push` it corrupts an in-flight transfer; inside an
+//! `Estimator::next` body it takes down the whole experiment cell. The
+//! `[[panic_free.scope]]` entries in `lint.toml` name those regions
+//! (file glob + impl-qualified fn globs), and this pass flags every
+//! potential panic site inside them:
+//!
+//! * `.unwrap()` / `.expect(…)`
+//! * the explicit panic macros `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` (`assert!` and `debug_assert!` are exempt —
+//!   asserts are the sanctioned invariant mechanism and debug asserts
+//!   vanish in release)
+//! * indexing `expr[…]` (slice/array/map panic on miss), except the
+//!   full-range `[..]` which cannot fail
+//! * narrowing integer casts `as u8|u16|u32|i8|i16|i32`, which
+//!   silently truncate instead of panicking — the same
+//!   wrong-number-no-error class the paper's fallacies describe
+//!
+//! Reachability closes over same-file calls: a helper called from a
+//! hot fn is hot too, because the panic still unwinds through the hot
+//! path. Cross-file closure is deliberately out of scope — the
+//! config's fn globs name the entry points per file instead.
+
+use crate::config::{glob_match, HotScope};
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FileModel;
+use crate::rules::{Allows, Finding, Rule};
+
+/// Runs D7 for one file. `rel` is the workspace-relative path with
+/// `/` separators; returns findings inside hot fn bodies only.
+pub fn check(
+    rel: &str,
+    tokens: &[Token],
+    model: &FileModel,
+    scopes: &[HotScope],
+    allows: &Allows,
+) -> Vec<Finding> {
+    let patterns: Vec<&str> = scopes
+        .iter()
+        .filter(|s| glob_match(&s.file, rel))
+        .flat_map(|s| s.fns.iter().map(String::as_str))
+        .collect();
+    if patterns.is_empty() {
+        return Vec::new();
+    }
+
+    // seed: non-test fns whose qualified name matches a scope pattern
+    let mut hot = vec![false; model.fns.len()];
+    for (i, f) in model.fns.iter().enumerate() {
+        if !f.in_test && patterns.iter().any(|p| glob_match(p, &f.qual)) {
+            hot[i] = true;
+        }
+    }
+    // closure over same-file calls (by simple name)
+    loop {
+        let mut grew = false;
+        for i in 0..model.fns.len() {
+            if !hot[i] {
+                continue;
+            }
+            let calls = model.fns[i].calls.clone();
+            for (j, g) in model.fns.iter().enumerate() {
+                if !hot[j] && !g.in_test && calls.iter().any(|c| c == &g.name) {
+                    hot[j] = true;
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (i, f) in model.fns.iter().enumerate() {
+        if !hot[i] {
+            continue;
+        }
+        scan_body(tokens, f.body, &f.qual, allows, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings.dedup_by(|a, b| a.line == b.line && a.col == b.col);
+    findings
+}
+
+fn scan_body(
+    tokens: &[Token],
+    body: (usize, usize),
+    qual: &str,
+    allows: &Allows,
+    findings: &mut Vec<Finding>,
+) {
+    let end = body.1.min(tokens.len());
+    let mut push = |tok: &Token, snippet: String| {
+        if !allows.covers(tok.line, Rule::PanicFree) {
+            findings.push(Finding {
+                rule: Rule::PanicFree,
+                line: tok.line,
+                col: tok.col,
+                snippet,
+                note: Some(format!("in hot path {qual}")),
+            });
+        }
+    };
+    for i in body.0..end {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Comment {
+            continue;
+        }
+        let prev = prev_code(tokens, i);
+        let next = next_code(tokens, i + 1);
+        match t.kind {
+            TokenKind::Ident => match t.text.as_str() {
+                "unwrap" | "expect" => {
+                    let after_dot = prev.is_some_and(|p| {
+                        tokens[p].kind == TokenKind::Punct && tokens[p].text == "."
+                    });
+                    let called = next.is_some_and(|n| {
+                        tokens[n].kind == TokenKind::Punct && tokens[n].text == "("
+                    });
+                    if after_dot && called {
+                        push(t, format!(".{}(…)", t.text));
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    let is_macro = next.is_some_and(|n| {
+                        tokens[n].kind == TokenKind::Punct && tokens[n].text == "!"
+                    });
+                    if is_macro {
+                        push(t, format!("{}!", t.text));
+                    }
+                }
+                "as" => {
+                    if let Some(n) = next {
+                        if tokens[n].kind == TokenKind::Ident
+                            && matches!(
+                                tokens[n].text.as_str(),
+                                "u8" | "u16" | "u32" | "i8" | "i16" | "i32"
+                            )
+                        {
+                            push(t, format!("as {}", tokens[n].text));
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Punct if t.text == "[" => {
+                // indexing: `ident[…]`, `)[…]`, `][…]` — not `#[attr]`,
+                // not macro `vec![…]`, not an array literal after `=`/
+                // `(`/`,`, and not the infallible full-range `[..]`
+                let indexes_expr = prev.is_some_and(|p| {
+                    let pt = &tokens[p];
+                    pt.kind == TokenKind::Ident
+                        && !matches!(
+                            pt.text.as_str(),
+                            "mut" | "in" | "return" | "as" | "else" | "match"
+                        )
+                        || (pt.kind == TokenKind::Punct && (pt.text == ")" || pt.text == "]"))
+                });
+                let full_range = next.is_some_and(|n| {
+                    tokens[n].kind == TokenKind::Punct
+                        && tokens[n].text == ".."
+                        && next_code(tokens, n + 1).is_some_and(|m| tokens[m].text == "]")
+                });
+                let macro_bang = prev.is_some_and(|p| {
+                    prev_code(tokens, p).is_some_and(|q| {
+                        tokens[q].kind == TokenKind::Punct && tokens[q].text == "!"
+                    })
+                });
+                if indexes_expr && !full_range && !macro_bang {
+                    let base = prev.map_or(String::new(), |p| tokens[p].text.clone());
+                    push(t, format!("{base}[…]"));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| tokens[j].kind != TokenKind::Comment)
+}
+
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Comment {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HotScope;
+    use crate::lexer::tokenize;
+    use crate::parser::parse;
+
+    fn run(rel: &str, src: &str, scopes: &[HotScope]) -> Vec<Finding> {
+        let toks = tokenize(src);
+        let model = parse(&toks);
+        let allows = Allows::from_tokens(&toks);
+        check(rel, &toks, &model, scopes, &allows)
+    }
+
+    fn sim_scope() -> Vec<HotScope> {
+        vec![HotScope {
+            file: "crates/netsim/src/sim.rs".into(),
+            fns: vec!["Simulator::run_until".into()],
+        }]
+    }
+
+    #[test]
+    fn unwrap_in_hot_fn_fires() {
+        let src = "impl Simulator {\n\
+                     pub fn run_until(&mut self) { self.events.pop().unwrap(); }\n\
+                   }\n";
+        let hits = run("crates/netsim/src/sim.rs", src, &sim_scope());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::PanicFree);
+        assert!(hits[0]
+            .note
+            .as_deref()
+            .unwrap()
+            .contains("Simulator::run_until"));
+    }
+
+    #[test]
+    fn cold_fns_and_other_files_are_exempt() {
+        let src = "impl Simulator {\n\
+                     pub fn debug_dump(&self) { self.events.last().unwrap(); }\n\
+                   }\n";
+        assert!(run("crates/netsim/src/sim.rs", src, &sim_scope()).is_empty());
+        let hot_src = "impl Simulator { pub fn run_until(&mut self) { x.unwrap(); } }";
+        assert!(run("crates/netsim/src/other.rs", hot_src, &sim_scope()).is_empty());
+    }
+
+    #[test]
+    fn closure_follows_same_file_calls() {
+        let src = "impl Simulator {\n\
+                     pub fn run_until(&mut self) { self.dispatch(); }\n\
+                     fn dispatch(&mut self) { self.agents[0].take().expect(\"x\"); }\n\
+                   }\n";
+        let hits = run("crates/netsim/src/sim.rs", src, &sim_scope());
+        // indexing + expect, both inside the transitively-hot helper
+        assert_eq!(hits.len(), 2, "{hits:?}");
+    }
+
+    #[test]
+    fn allow_marker_with_reason_silences() {
+        let src = "impl Simulator {\n\
+                     pub fn run_until(&mut self) {\n\
+                       // lint: allow(panic_free) -- heap invariant: peeked above\n\
+                       self.events.pop().unwrap();\n\
+                     }\n\
+                   }\n";
+        assert!(run("crates/netsim/src/sim.rs", src, &sim_scope()).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_and_panic_macros_fire_but_not_widening() {
+        let src = "impl Simulator {\n\
+                     pub fn run_until(&mut self) {\n\
+                       let a = x as u32;\n\
+                       let b = x as u64;\n\
+                       if bad { panic!(\"boom\") }\n\
+                     }\n\
+                   }\n";
+        let hits = run("crates/netsim/src/sim.rs", src, &sim_scope());
+        let snippets: Vec<&str> = hits.iter().map(|h| h.snippet.as_str()).collect();
+        assert!(snippets.contains(&"as u32"));
+        assert!(snippets.contains(&"panic!"));
+        assert!(!snippets.contains(&"as u64"));
+    }
+
+    #[test]
+    fn full_range_slice_and_attributes_do_not_fire() {
+        let src = "impl Simulator {\n\
+                     pub fn run_until(&mut self) {\n\
+                       let s = &buf[..];\n\
+                       let v = vec![1, 2];\n\
+                     }\n\
+                   }\n";
+        assert!(run("crates/netsim/src/sim.rs", src, &sim_scope()).is_empty());
+    }
+
+    #[test]
+    fn estimator_next_glob_matches_all_impls() {
+        let scopes = vec![HotScope {
+            file: "crates/core/src/tools/*.rs".into(),
+            fns: vec!["*::next".into()],
+        }];
+        let src = "impl Estimator for Igi {\n\
+                     fn next(&mut self) { self.samples[idx]; }\n\
+                   }\n";
+        let hits = run("crates/core/src/tools/igi.rs", src, &scopes);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn test_mod_fns_are_never_hot() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                     impl Simulator { fn run_until(&mut self) { x.unwrap(); } }\n\
+                   }\n";
+        assert!(run("crates/netsim/src/sim.rs", src, &sim_scope()).is_empty());
+    }
+}

@@ -1,0 +1,956 @@
+//! A lightweight item-level parser on top of the lexer.
+//!
+//! The D1–D6 rules are token-shaped, but the architecture rules added
+//! with the workspace-aware analyzer need *structure*: which `use`
+//! paths a file imports (the import-graph pass), which `fn` body a
+//! token sits in and under which `impl` (D7 panic-freedom scopes), and
+//! where names are *declared* as opposed to mentioned (D8 unit
+//! hygiene). This module recovers exactly that much structure — items
+//! with spans — and nothing more. It is not a Rust parser: expressions
+//! stay token runs, types are skipped by bracket matching, and
+//! malformed input degrades to fewer recognised items rather than
+//! errors (the right failure mode for a linter that must never block a
+//! build on its own confusion).
+//!
+//! What it recovers:
+//!
+//! * **`use` imports**, with brace trees expanded (`use a::{b, c::d}`
+//!   becomes `a::b` and `a::c::d`), `as` renames resolved to the
+//!   original path, and each leaf carrying the `use` keyword's span.
+//! * **Functions**, with their impl-qualified name (`Link::push`, or a
+//!   bare `helper`), parameter names, body token range, and the simple
+//!   names of everything the body calls (`foo(…)`, `.foo(…)`,
+//!   `Type::foo(…)`) — enough for the intra-file reachability closure
+//!   D7 uses to follow `run_until` into its helpers.
+//! * **Declaration sites** for D8: `fn` names, parameters, `let`
+//!   bindings, `struct` fields, `const`/`static` items.
+//! * **Test scopes**: any item under a `#[cfg(test)] mod` is marked so
+//!   production-only rules can skip it.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One expanded `use` import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseImport {
+    /// The full path, `::`-joined, brace trees expanded and `as`
+    /// renames dropped (the *source* path is what layering cares
+    /// about). Leading `::` and `self::` prefixes are stripped.
+    pub path: String,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+    /// 1-based column of the `use` keyword.
+    pub col: u32,
+    /// True when the import sits inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// A function item with its body span.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The simple name (`run_until`).
+    pub name: String,
+    /// Impl-qualified name: `Simulator::run_until` inside
+    /// `impl Simulator` (or `impl Trait for Simulator`), else the
+    /// simple name.
+    pub qual: String,
+    /// Token-index range `[start, end)` of the body (the tokens between
+    /// the braces, braces excluded). Empty for bodiless trait methods.
+    pub body: (usize, usize),
+    /// Simple names of calls made anywhere in the body.
+    pub calls: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// True when declared under a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// What kind of declaration a [`Decl`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclKind {
+    /// A `fn` name.
+    Fn,
+    /// A function parameter.
+    Param,
+    /// A `let` binding.
+    Let,
+    /// A `struct` field.
+    Field,
+    /// A `const` or `static` item.
+    Const,
+}
+
+/// One name-introduction site (for D8 unit hygiene).
+#[derive(Debug, Clone)]
+pub struct Decl {
+    /// The declared identifier.
+    pub name: String,
+    /// What introduced it.
+    pub kind: DeclKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// True when declared under a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// The head identifier of the declared type, when syntactically
+    /// evident (`f64`, `Vec`, `Option`); `None` for inferred `let`s,
+    /// fn names, and anything the item parser does not resolve.
+    pub ty: Option<String>,
+}
+
+/// Everything the item parser recovered from one file.
+#[derive(Debug, Default)]
+pub struct FileModel {
+    /// Expanded `use` imports, in source order.
+    pub uses: Vec<UseImport>,
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Declaration sites, in source order.
+    pub decls: Vec<Decl>,
+    /// Token-index ranges `[start, end)` covered by `#[cfg(test)]`
+    /// modules.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl FileModel {
+    /// The functions whose body token range contains `tok_idx`.
+    /// Innermost last (nested fns report both).
+    pub fn enclosing_fns(&self, tok_idx: usize) -> Vec<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= tok_idx && tok_idx < f.body.1)
+            .collect()
+    }
+
+    /// True when `tok_idx` sits inside a `#[cfg(test)]` module body.
+    pub fn in_test_region(&self, tok_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| s <= tok_idx && tok_idx < e)
+    }
+}
+
+/// What one `{` opened, tracked on a stack so item context follows
+/// brace structure.
+#[derive(Debug, Clone)]
+enum Scope {
+    /// `mod name {` — carries whether the mod is `#[cfg(test)]` and
+    /// the token index of its opening `{`.
+    Mod { test: bool, start: usize },
+    /// `impl Type {` / `impl Trait for Type {` — carries the type name.
+    Impl { type_name: String },
+    /// `struct Name {` — field declarations live directly inside.
+    Struct,
+    /// `fn name(…) {` — carries the index into `FileModel::fns`.
+    Fn { fn_idx: usize },
+    /// Any other brace: blocks, match arms, struct literals, closures.
+    Block,
+}
+
+/// Parses `tokens` (as produced by [`crate::lexer::tokenize`]) into a
+/// [`FileModel`]. Comments are ignored for structure; token indices in
+/// the model refer to positions in the *input* slice, so they line up
+/// with the indices rule passes use.
+pub fn parse(tokens: &[Token]) -> FileModel {
+    Parser {
+        tokens,
+        model: FileModel::default(),
+        scopes: Vec::new(),
+        open_fns: Vec::new(),
+    }
+    .run()
+}
+
+struct Parser<'t> {
+    tokens: &'t [Token],
+    model: FileModel,
+    scopes: Vec<Scope>,
+    /// Indices into `model.fns` whose body is still open (innermost
+    /// last); calls found anywhere inside attribute to all of them.
+    open_fns: Vec<usize>,
+}
+
+impl<'t> Parser<'t> {
+    /// The next non-comment token index at or after `i`.
+    fn skip_comments(&self, mut i: usize) -> usize {
+        while i < self.tokens.len() && self.tokens[i].kind == TokenKind::Comment {
+            i += 1;
+        }
+        i
+    }
+
+    /// The previous non-comment token index before `i`, if any.
+    fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i)
+            .rev()
+            .find(|&j| self.tokens[j].kind != TokenKind::Comment)
+    }
+
+    fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    fn in_test(&self) -> bool {
+        self.scopes
+            .iter()
+            .any(|s| matches!(s, Scope::Mod { test: true, .. }))
+    }
+
+    fn current_impl(&self) -> Option<&str> {
+        self.scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl { type_name } => Some(type_name.as_str()),
+            _ => None,
+        })
+    }
+
+    fn in_struct(&self) -> bool {
+        matches!(self.scopes.last(), Some(Scope::Struct))
+    }
+
+    fn in_fn_body(&self) -> bool {
+        !self.open_fns.is_empty()
+    }
+
+    fn run(mut self) -> FileModel {
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            i = self.skip_comments(i);
+            if i >= self.tokens.len() {
+                break;
+            }
+            let t = &self.tokens[i];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "use") => i = self.parse_use(i),
+                (TokenKind::Ident, "mod") => i = self.parse_mod(i),
+                (TokenKind::Ident, "impl") => i = self.parse_impl(i),
+                (TokenKind::Ident, "struct") => i = self.parse_struct(i),
+                (TokenKind::Ident, "fn") => i = self.parse_fn(i),
+                (TokenKind::Ident, "let") if self.in_fn_body() => i = self.parse_let(i),
+                (TokenKind::Ident, "const" | "static") => i = self.parse_const(i),
+                (TokenKind::Ident, _) if self.in_struct() => i = self.parse_field(i),
+                (TokenKind::Ident, name) if self.in_fn_body() => {
+                    // call-site harvesting: `name(`, `.name(`, `T::name(`
+                    let next = self.skip_comments(i + 1);
+                    if self.is_punct(next, "(") && !is_keyword(name) {
+                        let owned = name.to_string();
+                        for &f in &self.open_fns {
+                            if !self.model.fns[f].calls.contains(&owned) {
+                                self.model.fns[f].calls.push(owned.clone());
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                (TokenKind::Punct, "{") => {
+                    self.scopes.push(Scope::Block);
+                    i += 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    self.close_brace(i);
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        // unterminated scopes (malformed input): close them at EOF so
+        // body ranges stay bounded
+        let eof = self.tokens.len();
+        while !self.scopes.is_empty() {
+            self.close_brace(eof);
+        }
+        self.model
+    }
+
+    /// Closes the innermost scope at the `}` (or EOF) token index
+    /// `close_idx`, patching fn body ends and test-mod ranges.
+    fn close_brace(&mut self, close_idx: usize) {
+        match self.scopes.pop() {
+            Some(Scope::Fn { fn_idx }) => {
+                self.model.fns[fn_idx].body.1 = close_idx;
+                if let Some(pos) = self.open_fns.iter().rposition(|&f| f == fn_idx) {
+                    self.open_fns.remove(pos);
+                }
+            }
+            Some(Scope::Mod { test: true, start }) => {
+                self.model.test_ranges.push((start, close_idx));
+            }
+            _ => {}
+        }
+    }
+
+    /// `use path::to::{a, b::c} ;` — expand and record each leaf.
+    fn parse_use(&mut self, start: usize) -> usize {
+        let (line, col) = (self.tokens[start].line, self.tokens[start].col);
+        // guard: `use` as a path segment (`mem::use`? impossible) or a
+        // macro field is not an import; require statement position
+        // (previous code token is none, `;`, `{`, `}`) or `pub`.
+        if let Some(p) = self.prev_code(start) {
+            let pt = &self.tokens[p];
+            let ok = matches!(pt.text.as_str(), ";" | "{" | "}" | "]") || pt.text == "pub";
+            if !ok {
+                return start + 1;
+            }
+        }
+        let in_test = self.in_test();
+        let mut i = self.skip_comments(start + 1);
+        let mut prefix: Vec<String> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new(); // prefix lengths at `{`
+        let mut current: Vec<String> = Vec::new();
+        let flush = |current: &mut Vec<String>, prefix: &[String], model: &mut FileModel| {
+            if !current.is_empty() {
+                let mut full: Vec<String> = prefix.to_vec();
+                full.append(current);
+                let path = full.join("::");
+                let path = path
+                    .trim_start_matches("::")
+                    .trim_start_matches("self::")
+                    .to_string();
+                if !path.is_empty() {
+                    model.uses.push(UseImport {
+                        path,
+                        line,
+                        col,
+                        in_test,
+                    });
+                }
+            }
+        };
+        while i < self.tokens.len() {
+            i = self.skip_comments(i);
+            let Some(t) = self.tokens.get(i) else { break };
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, ";") => {
+                    flush(&mut current, &prefix, &mut self.model);
+                    return i + 1;
+                }
+                (TokenKind::Punct, "{") => {
+                    stack.push(prefix.len());
+                    prefix.append(&mut current);
+                    i += 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    flush(&mut current, &prefix, &mut self.model);
+                    if let Some(len) = stack.pop() {
+                        prefix.truncate(len);
+                    }
+                    i += 1;
+                }
+                (TokenKind::Punct, ",") => {
+                    flush(&mut current, &prefix, &mut self.model);
+                    i += 1;
+                }
+                (TokenKind::Ident, "as") => {
+                    // skip the rename; the source path is already in
+                    // `current`
+                    i = self.skip_comments(i + 1) + 1;
+                }
+                (TokenKind::Ident, _) | (TokenKind::Punct, "*") => {
+                    current.push(t.text.clone());
+                    i += 1;
+                }
+                (TokenKind::Punct, "::") => {
+                    i += 1;
+                }
+                _ => i += 1, // attributes, stray tokens: skip
+            }
+        }
+        flush(&mut current, &prefix, &mut self.model);
+        i
+    }
+
+    /// `mod name;` or `mod name { … }`, detecting `#[cfg(test)]`.
+    fn parse_mod(&mut self, start: usize) -> usize {
+        // `mod` must be item-position: previous code token ends a
+        // statement or is a visibility/attribute closer
+        let name_i = self.skip_comments(start + 1);
+        if !self
+            .tokens
+            .get(name_i)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            return start + 1;
+        }
+        let after = self.skip_comments(name_i + 1);
+        if self.is_punct(after, "{") {
+            let test = self.mod_is_cfg_test(start) || self.in_test();
+            self.scopes.push(Scope::Mod { test, start: after });
+            return after + 1;
+        }
+        // `mod name;` — nothing to track
+        start + 1
+    }
+
+    /// Looks backwards from the `mod` keyword for a `#[cfg(test)]`
+    /// attribute (allowing `pub` and other attributes in between).
+    fn mod_is_cfg_test(&self, mod_idx: usize) -> bool {
+        // scan back over `pub`, `]`-closed attributes; accept when an
+        // attribute containing `cfg ( test` is found
+        let mut i = mod_idx;
+        while let Some(p) = self.prev_code(i) {
+            let t = &self.tokens[p];
+            match t.text.as_str() {
+                "pub" => i = p,
+                ")" => {
+                    // `pub(crate)` — skip to the matching `(` and the `pub`
+                    let mut depth = 1;
+                    let mut j = p;
+                    while depth > 0 {
+                        let Some(q) = self.prev_code(j) else {
+                            return false;
+                        };
+                        match self.tokens[q].text.as_str() {
+                            ")" => depth += 1,
+                            "(" => depth -= 1,
+                            _ => {}
+                        }
+                        j = q;
+                    }
+                    i = j;
+                }
+                "]" => {
+                    // attribute: collect its tokens back to the `#`
+                    let mut j = p;
+                    let mut texts: Vec<&str> = Vec::new();
+                    loop {
+                        let Some(q) = self.prev_code(j) else {
+                            return false;
+                        };
+                        if self.tokens[q].text == "#" {
+                            j = q;
+                            break;
+                        }
+                        texts.push(self.tokens[q].text.as_str());
+                        j = q;
+                        if texts.len() > 64 {
+                            return false;
+                        }
+                    }
+                    texts.reverse();
+                    if texts.windows(2).any(|w| w[0] == "cfg" && w[1] == "(")
+                        && texts.contains(&"test")
+                    {
+                        return true;
+                    }
+                    // another attribute (#[allow(...)] etc.): keep
+                    // scanning before its `#`
+                    i = j;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// `impl [<…>] Type {` / `impl [<…>] Trait for Type {`.
+    fn parse_impl(&mut self, start: usize) -> usize {
+        let mut i = self.skip_comments(start + 1);
+        let mut depth_angle = 0i32;
+        let mut after_for: Option<String> = None;
+        let mut first_type: Option<String> = None;
+        let mut saw_for = false;
+        while i < self.tokens.len() {
+            i = self.skip_comments(i);
+            let Some(t) = self.tokens.get(i) else { break };
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") if depth_angle == 0 => {
+                    let type_name = after_for.or(first_type).unwrap_or_else(|| "?".to_string());
+                    self.scopes.push(Scope::Impl { type_name });
+                    return i + 1;
+                }
+                (TokenKind::Punct, ";") => return i + 1, // `impl Trait for T;`? bail
+                (TokenKind::Punct, "<") => {
+                    depth_angle += 1;
+                    i += 1;
+                }
+                (TokenKind::Punct, ">") => {
+                    depth_angle -= 1;
+                    i += 1;
+                }
+                (TokenKind::Ident, "for") if depth_angle == 0 => {
+                    saw_for = true;
+                    i += 1;
+                }
+                (TokenKind::Ident, "where") if depth_angle == 0 => {
+                    // the where clause adds nothing to the type name
+                    i += 1;
+                }
+                (TokenKind::Ident, name) if depth_angle == 0 => {
+                    // remember the *last* path segment seen on each side
+                    // of `for` (handles `impl fmt::Display for Rule`)
+                    if saw_for {
+                        if !is_keyword(name) {
+                            after_for = Some(name.to_string());
+                        }
+                    } else if !is_keyword(name) {
+                        first_type = Some(name.to_string());
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// `struct Name { fields }` (unit/tuple structs add no field decls).
+    fn parse_struct(&mut self, start: usize) -> usize {
+        let mut i = self.skip_comments(start + 1);
+        // struct name
+        if let Some(t) = self.tokens.get(i) {
+            if t.kind == TokenKind::Ident {
+                i = self.skip_comments(i + 1);
+            }
+        }
+        // generics
+        let mut depth_angle = 0i32;
+        while i < self.tokens.len() {
+            i = self.skip_comments(i);
+            let Some(t) = self.tokens.get(i) else { break };
+            match t.text.as_str() {
+                "<" => {
+                    depth_angle += 1;
+                    i += 1;
+                }
+                ">" => {
+                    depth_angle -= 1;
+                    i += 1;
+                }
+                "{" if depth_angle == 0 => {
+                    self.scopes.push(Scope::Struct);
+                    return i + 1;
+                }
+                // tuple struct `struct Foo(…);` or unit `struct Foo;`
+                "(" | ";" if depth_angle == 0 => return i + 1,
+                "where" => {
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// A field inside a `struct { … }` body: `[pub] name : Type ,`.
+    fn parse_field(&mut self, start: usize) -> usize {
+        let t = &self.tokens[start];
+        if t.text == "pub" {
+            return start + 1;
+        }
+        let next = self.skip_comments(start + 1);
+        if self.is_punct(next, ":") {
+            let ty = self.type_head(next + 1);
+            self.model.decls.push(Decl {
+                name: t.text.clone(),
+                kind: DeclKind::Field,
+                line: t.line,
+                col: t.col,
+                in_test: self.in_test(),
+                ty,
+            });
+            // skip the type up to `,` or the closing `}` (bracket-aware)
+            let mut i = next + 1;
+            let mut depth = 0i32;
+            while i < self.tokens.len() {
+                let tt = &self.tokens[i];
+                match tt.text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => return i + 1,
+                    "}" if depth <= 0 => return i, // let the loop close the scope
+                    _ => {}
+                }
+                i += 1;
+            }
+            return i;
+        }
+        start + 1
+    }
+
+    /// `fn name ( params ) [-> T] { body }`.
+    fn parse_fn(&mut self, start: usize) -> usize {
+        let name_i = self.skip_comments(start + 1);
+        let Some(name_t) = self.tokens.get(name_i) else {
+            return start + 1;
+        };
+        if name_t.kind != TokenKind::Ident {
+            return start + 1;
+        }
+        let name = name_t.text.clone();
+        let qual = match self.current_impl() {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        let in_test = self.in_test();
+        let (fn_line, fn_col) = (self.tokens[start].line, self.tokens[start].col);
+        self.model.decls.push(Decl {
+            name: name.clone(),
+            kind: DeclKind::Fn,
+            line: name_t.line,
+            col: name_t.col,
+            in_test,
+            ty: None,
+        });
+
+        // find the parameter list `(`, skipping generics
+        let mut i = self.skip_comments(name_i + 1);
+        let mut depth_angle = 0i32;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            match t.text.as_str() {
+                "<" => depth_angle += 1,
+                ">" => depth_angle -= 1,
+                "(" if depth_angle == 0 => break,
+                ";" => return i + 1, // malformed / macro fragment
+                _ => {}
+            }
+            i += 1;
+        }
+        // parameters: idents followed by `:` at paren depth 1
+        let mut depth_paren = 0i32;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            match t.text.as_str() {
+                "(" => depth_paren += 1,
+                ")" => {
+                    depth_paren -= 1;
+                    if depth_paren == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if depth_paren == 1
+                        && t.kind == TokenKind::Ident
+                        && t.text != "self"
+                        && t.text != "mut"
+                        && self.is_punct(self.skip_comments(i + 1), ":")
+                    {
+                        // only names in pattern position: preceded by `(`,
+                        // `,` or `mut`
+                        if let Some(p) = self.prev_code(i) {
+                            if matches!(self.tokens[p].text.as_str(), "(" | "," | "mut") {
+                                let colon = self.skip_comments(i + 1);
+                                let ty = self.type_head(colon + 1);
+                                self.model.decls.push(Decl {
+                                    name: t.text.clone(),
+                                    kind: DeclKind::Param,
+                                    line: t.line,
+                                    col: t.col,
+                                    in_test,
+                                    ty,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        // skip the return type / where clause to the body `{` or a `;`
+        let mut depth = 0i32;
+        while i < self.tokens.len() {
+            let t = &self.tokens[i];
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return i + 1, // bodiless trait method
+                "{" if depth <= 0 => {
+                    let fn_idx = self.model.fns.len();
+                    self.model.fns.push(FnItem {
+                        name,
+                        qual,
+                        body: (i + 1, usize::MAX), // end patched on close
+                        calls: Vec::new(),
+                        line: fn_line,
+                        col: fn_col,
+                        in_test,
+                    });
+                    self.scopes.push(Scope::Fn { fn_idx });
+                    self.open_fns.push(fn_idx);
+                    return i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// `let [mut] name …` inside a fn body.
+    fn parse_let(&mut self, start: usize) -> usize {
+        let mut i = self.skip_comments(start + 1);
+        if self.is_ident(i, "mut") {
+            i = self.skip_comments(i + 1);
+        }
+        if let Some(t) = self.tokens.get(i) {
+            if t.kind == TokenKind::Ident && t.text != "_" {
+                // `let Some(x)` / `let (a, b)` destructuring is skipped:
+                // only a bare ident directly after `let [mut]` counts,
+                // and only when not immediately followed by `(`/`{`/`::`
+                let after = self.skip_comments(i + 1);
+                let is_pattern_ctor = self.is_punct(after, "(")
+                    || self.is_punct(after, "{")
+                    || self.is_punct(after, "::");
+                if !is_pattern_ctor {
+                    let ty = if self.is_punct(after, ":") {
+                        self.type_head(after + 1)
+                    } else {
+                        None
+                    };
+                    self.model.decls.push(Decl {
+                        name: t.text.clone(),
+                        kind: DeclKind::Let,
+                        line: t.line,
+                        col: t.col,
+                        in_test: self.in_test(),
+                        ty,
+                    });
+                }
+            }
+        }
+        start + 1
+    }
+
+    /// `const NAME: T = …;` / `static NAME: T = …;`.
+    fn parse_const(&mut self, start: usize) -> usize {
+        let mut i = self.skip_comments(start + 1);
+        if self.is_ident(i, "mut") {
+            i = self.skip_comments(i + 1);
+        }
+        if let Some(t) = self.tokens.get(i) {
+            // `const fn` — let the fn branch handle it next iteration
+            if t.kind == TokenKind::Ident && t.text != "fn" && t.text != "_" {
+                let colon = self.skip_comments(i + 1);
+                let ty = if self.is_punct(colon, ":") {
+                    self.type_head(colon + 1)
+                } else {
+                    None
+                };
+                self.model.decls.push(Decl {
+                    name: t.text.clone(),
+                    kind: DeclKind::Const,
+                    line: t.line,
+                    col: t.col,
+                    in_test: self.in_test(),
+                    ty,
+                });
+                return i + 1;
+            }
+        }
+        start + 1
+    }
+
+    /// The head identifier of a type starting at token `i`, skipping
+    /// reference/mutability/lifetime prefixes (`&`, `mut`, `'a`).
+    fn type_head(&self, mut i: usize) -> Option<String> {
+        for _ in 0..6 {
+            i = self.skip_comments(i);
+            let t = self.tokens.get(i)?;
+            match t.kind {
+                TokenKind::Ident if t.text == "mut" || t.text == "dyn" || t.text == "impl" => {
+                    i += 1;
+                }
+                TokenKind::Ident => return Some(t.text.clone()),
+                TokenKind::Lifetime => i += 1,
+                TokenKind::Punct if t.text == "&" || t.text == "&&" => i += 1,
+                _ => return None,
+            }
+        }
+        None
+    }
+}
+
+/// Keywords that look like call sites (`if (…)`, `while (…)`) or are
+/// otherwise never function names.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "else"
+            | "fn"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "in"
+            | "as"
+            | "use"
+            | "pub"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "mod"
+            | "const"
+            | "static"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "box"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn model(src: &str) -> FileModel {
+        parse(&tokenize(src))
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let m = model(
+            "use std::collections::{BTreeMap, btree_map::Entry};\n\
+             use abw_netsim::SimDuration;\n\
+             pub use crate::tools::registry as reg;\n",
+        );
+        let paths: Vec<&str> = m.uses.iter().map(|u| u.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "std::collections::BTreeMap",
+                "std::collections::btree_map::Entry",
+                "abw_netsim::SimDuration",
+                "crate::tools::registry",
+            ]
+        );
+        assert_eq!(m.uses[0].line, 1);
+        assert_eq!(m.uses[2].line, 2);
+        assert_eq!(m.uses[3].line, 3);
+    }
+
+    #[test]
+    fn fns_get_impl_qualified_names_and_bodies() {
+        let m = model(
+            "impl Link {\n\
+               fn push(&mut self, p: Packet) { self.enqueue(p); }\n\
+             }\n\
+             impl fmt::Display for Rule {\n\
+               fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write(f) }\n\
+             }\n\
+             fn helper(x: u64) -> u64 { x }\n",
+        );
+        let quals: Vec<&str> = m.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, ["Link::push", "Rule::fmt", "helper"]);
+        assert!(m.fns[0].calls.contains(&"enqueue".to_string()));
+    }
+
+    #[test]
+    fn calls_are_harvested_transitively_visible() {
+        let m = model(
+            "fn outer() { inner(); x.method(); Type::assoc(); }\n\
+             fn inner() {}\n",
+        );
+        let outer = &m.fns[0];
+        assert!(outer.calls.contains(&"inner".to_string()));
+        assert!(outer.calls.contains(&"method".to_string()));
+        assert!(outer.calls.contains(&"assoc".to_string()));
+    }
+
+    #[test]
+    fn decls_cover_fields_params_lets_consts() {
+        let m = model(
+            "const WARMUP_MS: u64 = 5;\n\
+             struct S { rate_bps: f64, pub count: u32 }\n\
+             fn f(gap_us: f64) { let total_bytes = 0; let Some(x) = opt else { return }; }\n",
+        );
+        let names: Vec<(&str, DeclKind)> =
+            m.decls.iter().map(|d| (d.name.as_str(), d.kind)).collect();
+        assert!(names.contains(&("WARMUP_MS", DeclKind::Const)));
+        assert!(names.contains(&("rate_bps", DeclKind::Field)));
+        assert!(names.contains(&("count", DeclKind::Field)));
+        assert!(names.contains(&("gap_us", DeclKind::Param)));
+        assert!(names.contains(&("total_bytes", DeclKind::Let)));
+        assert!(names.contains(&("f", DeclKind::Fn)));
+        // the destructured `Some(x)` is not a Let decl
+        assert!(!names.contains(&("Some", DeclKind::Let)));
+    }
+
+    #[test]
+    fn cfg_test_mods_mark_items() {
+        let m = model(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+               use super::*;\n\
+               fn helper_test() { prod(); }\n\
+             }\n",
+        );
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test, "fn under #[cfg(test)] mod must be test");
+        assert!(m.uses[0].in_test);
+    }
+
+    #[test]
+    fn enclosing_fn_lookup_spans_nested_braces() {
+        let src = "fn a() { if x { y.unwrap(); } }\nfn b() {}\n";
+        let toks = tokenize(src);
+        let m = parse(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        let encl = m.enclosing_fns(unwrap_idx);
+        assert_eq!(encl.len(), 1);
+        assert_eq!(encl[0].name, "a");
+    }
+
+    #[test]
+    fn fn_bodies_end_at_their_closing_brace() {
+        let src = "fn a() { x(); }\nfn b() { y.unwrap(); }\n";
+        let toks = tokenize(src);
+        let m = parse(&toks);
+        let unwrap_idx = toks.iter().position(|t| t.text == "unwrap").unwrap();
+        let encl = m.enclosing_fns(unwrap_idx);
+        assert_eq!(encl.len(), 1, "a's body must not swallow b's tokens");
+        assert_eq!(encl[0].name, "b");
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod_tokens() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests { fn t() { q(); } }\n";
+        let toks = tokenize(src);
+        let m = parse(&toks);
+        let q_idx = toks.iter().position(|t| t.text == "q").unwrap();
+        let prod_idx = toks.iter().position(|t| t.text == "prod").unwrap();
+        assert!(m.in_test_region(q_idx));
+        assert!(!m.in_test_region(prod_idx));
+    }
+
+    #[test]
+    fn struct_literal_in_fn_is_not_field_decls() {
+        let m = model("fn f() { let s = Foo { rate_mbps: 1.0 }; }");
+        assert!(m
+            .decls
+            .iter()
+            .all(|d| !(d.name == "rate_mbps" && d.kind == DeclKind::Field)));
+    }
+
+    #[test]
+    fn trait_fn_without_body_has_no_open_range() {
+        let m = model("trait T { fn next(&mut self) -> u32; }\nfn real() {}");
+        // the bodiless `next` must not swallow `real`
+        assert!(m.fns.iter().any(|f| f.name == "real"));
+        assert!(!m.fns.iter().any(|f| f.name == "next"));
+    }
+}

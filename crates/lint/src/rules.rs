@@ -33,16 +33,29 @@ pub enum Rule {
     Print,
     /// D6: no unseeded / ambient RNG construction.
     Rng,
+    /// D7: no panic paths (`unwrap`, `expect`, indexing, narrowing
+    /// `as`) inside configured hot scopes.
+    PanicFree,
+    /// D8: numeric names carry a unit suffix; no mixed-unit arithmetic.
+    Units,
+    /// D9: every tool module statically present in the registry.
+    Registry,
+    /// L1: no import edge that violates the declared layering contract.
+    Layering,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::WallClock,
     Rule::HashIter,
     Rule::ThreadSpawn,
     Rule::FloatEq,
     Rule::Print,
     Rule::Rng,
+    Rule::PanicFree,
+    Rule::Units,
+    Rule::Registry,
+    Rule::Layering,
 ];
 
 impl Rule {
@@ -55,6 +68,10 @@ impl Rule {
             Rule::FloatEq => "D4",
             Rule::Print => "D5",
             Rule::Rng => "D6",
+            Rule::PanicFree => "D7",
+            Rule::Units => "D8",
+            Rule::Registry => "D9",
+            Rule::Layering => "L1",
         }
     }
 
@@ -67,6 +84,10 @@ impl Rule {
             Rule::FloatEq => "float_eq",
             Rule::Print => "print",
             Rule::Rng => "rng",
+            Rule::PanicFree => "panic_free",
+            Rule::Units => "units",
+            Rule::Registry => "registry",
+            Rule::Layering => "layering",
         }
     }
 
@@ -103,6 +124,24 @@ impl Rule {
             Rule::Rng => {
                 "ambient entropy makes runs unreproducible; derive every RNG from a \
                  scenario seed via StdRng::seed_from_u64"
+            }
+            Rule::PanicFree => {
+                "this body is reachable from a hot scope declared in lint.toml; a panic \
+                 here kills a simulation mid-event — return an error, saturate, or add \
+                 `// lint: allow(panic_free) -- <why it cannot fire>`"
+            }
+            Rule::Units => {
+                "numeric names carry a unit suffix (_bps _ns _us _ms _s _pkts _bytes \
+                 _frac) so Mb/s-vs-B/s bugs are visible at the call site; rename or \
+                 add `// lint: allow(units)`"
+            }
+            Rule::Registry => {
+                "every module under core/src/tools must have a `module: \"<stem>\"` \
+                 entry in tools::registry so scenario specs can name it"
+            }
+            Rule::Layering => {
+                "this import violates a [[layering.deny]] edge in lint.toml; route \
+                 through the sanctioned layer or amend the contract in review"
             }
         }
     }
@@ -175,6 +214,32 @@ impl FileContext {
             // tests may print freely
             Rule::Print => self.class == FileClass::Lib && c != "bench",
             Rule::Rng => true,
+            // hot scopes are library code by construction; D8 names are
+            // a library-API contract, not a test-local one
+            Rule::PanicFree => self.class == FileClass::Lib,
+            Rule::Units => self.class == FileClass::Lib,
+            // workspace-level passes; scope is decided by lint.toml
+            // (registry paths, deny-edge globs), not the file class
+            Rule::Registry => true,
+            Rule::Layering => self.class != FileClass::Test,
+        }
+    }
+}
+
+impl Rule {
+    /// One-line scope description for `--list-rules`.
+    pub fn scope(self) -> &'static str {
+        match self {
+            Rule::WallClock => "all crates except exec, bench",
+            Rule::HashIter => "core, netsim, traffic, stats",
+            Rule::ThreadSpawn => "all crates except exec",
+            Rule::FloatEq => "everywhere",
+            Rule::Print => "library code except bench",
+            Rule::Rng => "everywhere",
+            Rule::PanicFree => "lint.toml [[panic_free.scope]] hot paths",
+            Rule::Units => "library code (declaration sites)",
+            Rule::Registry => "lint.toml [registry] paths",
+            Rule::Layering => "lint.toml [[layering.deny]] edges, non-test",
         }
     }
 }
@@ -190,17 +255,30 @@ pub struct Finding {
     pub col: u32,
     /// The offending token run, reassembled.
     pub snippet: String,
+    /// Extra context appended to the rule hint (e.g. the violated
+    /// layering edge's configured reason).
+    pub note: Option<String>,
+}
+
+impl Finding {
+    /// The full hint: the rule's static hint plus the per-finding note.
+    pub fn full_hint(&self) -> String {
+        match &self.note {
+            Some(note) => format!("{} [{}]", self.rule.hint(), note),
+            None => self.rule.hint().to_string(),
+        }
+    }
 }
 
 /// Lines on which given rules are explicitly allowed.
 #[derive(Debug, Default)]
-struct Allows {
+pub struct Allows {
     /// `(line, rule)` pairs; a marker covers its own line and the next.
     entries: Vec<(u32, Rule)>,
 }
 
 impl Allows {
-    fn from_tokens(tokens: &[Token]) -> Self {
+    pub fn from_tokens(tokens: &[Token]) -> Self {
         let mut allows = Allows::default();
         for t in tokens {
             if t.kind != TokenKind::Comment {
@@ -224,7 +302,7 @@ impl Allows {
 
     /// True when `rule` is allowed on `line` (marker on the same line or
     /// the line above).
-    fn covers(&self, line: u32, rule: Rule) -> bool {
+    pub fn covers(&self, line: u32, rule: Rule) -> bool {
         self.entries
             .iter()
             .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
@@ -246,6 +324,7 @@ pub fn check(ctx: &FileContext, tokens: &[Token]) -> Vec<Finding> {
                 line: tok.line,
                 col: tok.col,
                 snippet,
+                note: None,
             });
         }
     };

@@ -1,0 +1,306 @@
+//! D8 — unit hygiene.
+//!
+//! The paper's fallacy catalogue is full of wrong-by-a-unit bugs:
+//! Mb/s where B/s was meant, milliseconds compared against
+//! microseconds, a fraction fed where a percentage was expected. The
+//! workspace convention is that a numeric name *carries its unit as a
+//! suffix* (`rate_bps`, `gap_us`, `warmup_ms`) so the unit is visible
+//! at every use site. This pass enforces three things, vocabulary
+//! supplied by `[units]` in `lint.toml`:
+//!
+//! 1. **Deny aliases** — suffixes that look like units but are the
+//!    wrong spelling (`_sec`, `_kbps`, `_pkt`) are flagged on every
+//!    declaration, with the canonical replacement in the finding.
+//! 2. **Missing suffix** — an `f64`/`f32` struct field whose name has
+//!    no unit suffix and is not in the `dimensionless` allowlist is
+//!    flagged: floats in this codebase are physical quantities.
+//! 3. **Mixed-unit arithmetic** — `a_ms + b_us`, `x_bps < y_mbps`:
+//!    two unit-suffixed names joined by `+ - == != < > <= >=` with
+//!    *different scales* is exactly the bug class the suffixes exist
+//!    to surface. Multiplication and division are exempt (they
+//!    legitimately combine dimensions).
+
+use crate::config::UnitsConfig;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{DeclKind, FileModel};
+use crate::rules::{Allows, Finding, Rule};
+
+/// Runs D8 for one file.
+pub fn check(
+    tokens: &[Token],
+    model: &FileModel,
+    units: &UnitsConfig,
+    allows: &Allows,
+) -> Vec<Finding> {
+    let vocab = Vocabulary::from_config(units);
+    let mut findings = Vec::new();
+    check_decls(model, units, &vocab, allows, &mut findings);
+    check_mixing(tokens, model, &vocab, allows, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// The suffix vocabulary, preprocessed for longest-match lookup.
+struct Vocabulary {
+    /// All recognised unit suffixes (canonical + accepted), longest
+    /// first so `_mbps` wins over `_bps`.
+    suffixes: Vec<String>,
+    /// `(alias, replacement)` pairs from the deny list.
+    deny: Vec<(String, String)>,
+}
+
+impl Vocabulary {
+    fn from_config(units: &UnitsConfig) -> Self {
+        let mut suffixes: Vec<String> = units
+            .canonical
+            .iter()
+            .chain(units.accepted.iter())
+            .cloned()
+            .collect();
+        suffixes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        let deny = units
+            .deny
+            .iter()
+            .filter_map(|pair| {
+                pair.split_once('=')
+                    .map(|(a, b)| (a.to_string(), b.to_string()))
+            })
+            .collect();
+        Vocabulary { suffixes, deny }
+    }
+
+    /// The unit suffix of `name`, if any (case-insensitive so
+    /// `WARMUP_MS` matches `_ms`). Longest match wins.
+    fn suffix_of(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.suffixes
+            .iter()
+            .find(|s| lower.ends_with(s.as_str()) && lower.len() > s.len())
+            .map(String::as_str)
+    }
+
+    /// The deny alias `name` ends with, if any, with its replacement.
+    fn deny_alias_of(&self, name: &str) -> Option<(&str, &str)> {
+        let lower = name.to_ascii_lowercase();
+        // a name that carries a *valid* longer suffix is fine even if a
+        // deny alias is its tail (none overlap today, but stay safe)
+        if self.suffix_of(name).is_some() {
+            return None;
+        }
+        self.deny
+            .iter()
+            .find(|(a, _)| lower.ends_with(a.as_str()) && lower.len() > a.len())
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+}
+
+/// Two suffixes agree when they name the same scale: `_secs` is a
+/// legacy spelling of `_s`, `_millis` of `_ms`, and so on. `_mbps`
+/// vs `_bps` and `_pct` vs `_frac` are *different scales* — mixing
+/// them is the bug.
+fn scale(suffix: &str) -> &str {
+    match suffix {
+        "_secs" => "_s",
+        "_millis" => "_ms",
+        "_micros" => "_us",
+        "_nanos" => "_ns",
+        "_packets" => "_pkts",
+        other => other,
+    }
+}
+
+fn check_decls(
+    model: &FileModel,
+    units: &UnitsConfig,
+    vocab: &Vocabulary,
+    allows: &Allows,
+    findings: &mut Vec<Finding>,
+) {
+    for d in &model.decls {
+        if d.in_test {
+            continue;
+        }
+        if allows.covers(d.line, Rule::Units) {
+            continue;
+        }
+        if let Some((alias, replacement)) = vocab.deny_alias_of(&d.name) {
+            findings.push(Finding {
+                rule: Rule::Units,
+                line: d.line,
+                col: d.col,
+                snippet: d.name.clone(),
+                note: Some(format!(
+                    "`{alias}` is not in the vocabulary; use `{replacement}`"
+                )),
+            });
+            continue;
+        }
+        // missing-suffix check: float-typed fields only — the API
+        // surface where an unlabeled quantity propagates furthest
+        let is_float_field =
+            d.kind == DeclKind::Field && d.ty.as_deref().is_some_and(|t| t == "f64" || t == "f32");
+        if is_float_field
+            && vocab.suffix_of(&d.name).is_none()
+            && !units.dimensionless.iter().any(|n| n == &d.name)
+        {
+            findings.push(Finding {
+                rule: Rule::Units,
+                line: d.line,
+                col: d.col,
+                snippet: d.name.clone(),
+                note: Some(
+                    "float field without a unit suffix; rename, or add it to \
+                     [units].dimensionless in lint.toml if it truly has no unit"
+                        .to_string(),
+                ),
+            });
+        }
+    }
+}
+
+/// Comparison/additive operators that require both operands to share a
+/// scale.
+fn is_mixing_op(text: &str) -> bool {
+    matches!(text, "+" | "-" | "==" | "!=" | "<" | ">" | "<=" | ">=")
+}
+
+fn check_mixing(
+    tokens: &[Token],
+    model: &FileModel,
+    vocab: &Vocabulary,
+    allows: &Allows,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct || !is_mixing_op(&t.text) {
+            continue;
+        }
+        let Some(p) = prev_code(tokens, i) else {
+            continue;
+        };
+        let Some(n) = next_code(tokens, i + 1) else {
+            continue;
+        };
+        if tokens[p].kind != TokenKind::Ident || tokens[n].kind != TokenKind::Ident {
+            continue;
+        }
+        let (Some(ls), Some(rs)) = (
+            vocab.suffix_of(&tokens[p].text),
+            vocab.suffix_of(&tokens[n].text),
+        ) else {
+            continue;
+        };
+        if scale(ls) == scale(rs) {
+            continue;
+        }
+        if model.in_test_region(i) || allows.covers(t.line, Rule::Units) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::Units,
+            line: t.line,
+            col: t.col,
+            snippet: format!("{} {} {}", tokens[p].text, t.text, tokens[n].text),
+            note: Some(format!("mixes `{ls}` with `{rs}` without conversion")),
+        });
+    }
+}
+
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| tokens[j].kind != TokenKind::Comment)
+}
+
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if tokens[i].kind != TokenKind::Comment {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::parser::parse;
+
+    fn config() -> UnitsConfig {
+        UnitsConfig {
+            canonical: [
+                "_bps", "_ns", "_us", "_ms", "_s", "_pkts", "_bytes", "_frac",
+            ]
+            .map(String::from)
+            .to_vec(),
+            accepted: [
+                "_mbps", "_secs", "_millis", "_micros", "_nanos", "_pct", "_hz",
+            ]
+            .map(String::from)
+            .to_vec(),
+            deny: ["_sec=_s", "_msec=_ms", "_kbps=_bps", "_pkt=_pkts"]
+                .map(String::from)
+                .to_vec(),
+            dimensionless: vec!["gamma".to_string(), "tolerance".to_string()],
+        }
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let toks = tokenize(src);
+        let model = parse(&toks);
+        let allows = Allows::from_tokens(&toks);
+        check(&toks, &model, &config(), &allows)
+    }
+
+    #[test]
+    fn deny_alias_fires_with_replacement() {
+        let hits = run("fn f() { let gap_sec = 1.0; }");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].note.as_deref().unwrap().contains("_s"));
+        assert_eq!(hits[0].snippet, "gap_sec");
+    }
+
+    #[test]
+    fn float_field_without_suffix_fires_unless_dimensionless() {
+        let hits = run("struct R { rate: f64, gamma: f64, rate_bps: f64, count: u64 }");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].snippet, "rate");
+    }
+
+    #[test]
+    fn mixing_different_scales_fires() {
+        let hits = run("fn f() { if gap_ms < timeout_us { } }");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].note.as_deref().unwrap().contains("_ms"));
+    }
+
+    #[test]
+    fn same_scale_and_multiplication_are_fine() {
+        assert!(run("fn f() { let t = a_ms + b_ms; }").is_empty());
+        assert!(run("fn f() { let bits = rate_bps * window_s; }").is_empty());
+        // _secs is a legacy spelling of _s — same scale, no finding
+        assert!(run("fn f() { let ok = elapsed_secs < budget_s; }").is_empty());
+    }
+
+    #[test]
+    fn mbps_vs_bps_is_a_real_scale_bug() {
+        let hits = run("fn f() { let bad = truth_mbps - estimate_bps; }");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn const_suffix_is_case_insensitive() {
+        assert!(run("const WARMUP_MS: u64 = 5;").is_empty());
+        let hits = run("const WARMUP_MSEC: u64 = 5;");
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn allow_marker_and_test_mods_are_exempt() {
+        let marked =
+            "struct R {\n  // lint: allow(units) -- legacy name, CSV-stable\n  rate: f64,\n}";
+        assert!(run(marked).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { let x = a_ms + b_us; } }";
+        assert!(run(test_src).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! D7 allow fixture — the same shapes, either annotated with a proven
+//! invariant or genuinely unreachable from the hot set.
+
+pub struct Link {
+    queue: Vec<u64>,
+}
+
+impl Link {
+    pub fn enqueue(&mut self, pkt: u64) {
+        self.queue.push(pkt);
+        // lint: allow(panic_free) -- queue is non-empty: pushed above
+        let _first = self.queue.first().unwrap();
+        if let Some(last) = self.queue.last() {
+            let _wide = *last as u64;
+        }
+    }
+}
+
+// never called from a Link method: cold, so the panic is out of scope
+fn offline_report(q: &[u64]) -> u64 {
+    q[0]
+}

@@ -1,0 +1,22 @@
+//! D7 deny fixture — panic-capable operations reachable from a hot
+//! path. Linted as though it were `crates/netsim/src/link.rs`, where
+//! `Link::*` is a `[[panic_free.scope]]` entry.
+
+pub struct Link {
+    queue: Vec<u64>,
+}
+
+impl Link {
+    pub fn enqueue(&mut self, pkt: u64) {
+        self.queue.push(pkt);
+        let first = self.queue.first().unwrap();
+        let _narrow = *first as u32;
+        helper(&self.queue);
+    }
+}
+
+// not itself in scope, but reachable from Link::enqueue — the closure
+// makes it hot, so the index panics below must fire
+fn helper(q: &[u64]) -> u64 {
+    q[0] + q[q.len() - 1]
+}

@@ -1,0 +1,18 @@
+//! D8 allow fixture — suffixed names, a sanctioned legacy name, and
+//! arithmetic that respects (or legitimately combines) scales.
+
+pub struct Estimate {
+    pub rate_bps: f64,
+    // lint: allow(units) -- legacy CSV column name, frozen by goldens
+    pub throughput: f64,
+    pub count: u64,
+}
+
+pub fn deadline_passed(gap_ms: f64, timeout_ms: f64) -> bool {
+    gap_ms > timeout_ms
+}
+
+pub fn bits_in_window(rate_bps: f64, window_s: f64) -> f64 {
+    // multiplication combines dimensions on purpose — never flagged
+    rate_bps * window_s
+}

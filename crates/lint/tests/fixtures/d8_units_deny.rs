@@ -1,0 +1,12 @@
+//! D8 deny fixture — every flavour of unit-hygiene violation: a float
+//! field with no unit suffix, a deny-alias spelling, and arithmetic
+//! mixing two different scales.
+
+pub struct Estimate {
+    pub throughput: f64,
+    pub delay_msec: f64,
+}
+
+pub fn deadline_passed(gap_ms: f64, timeout_us: f64) -> bool {
+    gap_ms > timeout_us
+}

@@ -1,0 +1,9 @@
+//! L1 allow fixture — the same import, sanctioned by a marker that
+//! records why this one site may cross the layer boundary.
+
+// lint: allow(layering) -- wiring fixture: constructs the sim it hands out
+use abw_netsim::Simulator;
+
+pub fn probe(_sim: &mut Simulator) -> u64 {
+    1
+}

@@ -1,0 +1,9 @@
+//! L1 deny fixture — a measurement tool reaching for the simulator.
+//! Linted as though it were `crates/core/src/tools/fake.rs`, which the
+//! `tools-no-simulator` deny edge covers.
+
+use abw_netsim::Simulator;
+
+pub fn probe(_sim: &mut Simulator) -> u64 {
+    1
+}

@@ -1,0 +1,3 @@
+pub fn estimate() -> u64 {
+    0
+}

@@ -1,0 +1,5 @@
+use abw_netsim::Simulator;
+
+pub fn probe(_sim: &mut Simulator) -> u64 {
+    1
+}

@@ -1,0 +1,8 @@
+pub mod alpha;
+pub mod beta;
+pub mod registry;
+
+// sanctioned: mod.rs is the except entry on the deny edge
+use abw_netsim::Simulator;
+
+pub fn wire(_sim: &mut Simulator) {}

@@ -1,0 +1,8 @@
+pub struct Entry {
+    pub module: &'static str,
+}
+
+pub static TOOLS: &[Entry] = &[
+    Entry { module: "alpha" },
+    Entry { module: "ghost" },
+];

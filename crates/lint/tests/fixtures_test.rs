@@ -1,16 +1,19 @@
 //! Fixture-driven rule tests plus the workspace-clean gate.
 //!
-//! Each rule D1–D6 has one deny and one allow fixture under
+//! Each rule has one deny and one allow fixture under
 //! `tests/fixtures/`. Deny fixtures must produce at least one finding of
 //! exactly the expected rule, both through the library API and through
 //! the real `abw-lint` binary (which must exit non-zero). Allow fixtures
-//! must lint clean. Finally, the actual workspace must lint clean — the
-//! tree stays warning-free by construction.
+//! must lint clean. The architecture rules (D7/D8/L1) lint their
+//! fixtures *as though they lived at a path* the embedded `lint.toml`
+//! scopes cover. Finally, the actual workspace must lint clean with
+//! every rule armed — the tree stays warning-free by construction.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use abw_lint::{lint_source, lint_workspace, FileContext, Rule};
+use abw_lint::config::LintConfig;
+use abw_lint::{lint_source, lint_source_configured, lint_workspace, FileContext, Rule};
 
 /// `(fixture stem, rule, context the fixture pretends to live in)`.
 fn cases() -> Vec<(&'static str, Rule, FileContext)> {
@@ -26,6 +29,31 @@ fn cases() -> Vec<(&'static str, Rule, FileContext)> {
         ("d4_float_eq", Rule::FloatEq, FileContext::lib("stats")),
         ("d5_print", Rule::Print, FileContext::lib("core")),
         ("d6_rng", Rule::Rng, FileContext::lib("traffic")),
+    ]
+}
+
+/// `(fixture stem, rule, context, path the fixture pretends to live
+/// at)` for the config-driven architecture rules.
+fn arch_cases() -> Vec<(&'static str, Rule, FileContext, &'static str)> {
+    vec![
+        (
+            "d7_panic_free",
+            Rule::PanicFree,
+            FileContext::lib("netsim"),
+            "crates/netsim/src/link.rs",
+        ),
+        (
+            "d8_units",
+            Rule::Units,
+            FileContext::lib("core"),
+            "crates/core/src/estimate.rs",
+        ),
+        (
+            "l1_layering",
+            Rule::Layering,
+            FileContext::lib("core"),
+            "crates/core/src/tools/fake.rs",
+        ),
     ]
 }
 
@@ -70,6 +98,54 @@ fn allow_fixtures_lint_clean() {
             "{stem}_allow.rs: unexpected findings: {findings:?}"
         );
     }
+}
+
+#[test]
+fn arch_deny_fixtures_fire_their_rule() {
+    let config = LintConfig::embedded();
+    for (stem, rule, ctx, rel) in arch_cases() {
+        let source = read_fixture(&format!("{stem}_deny.rs"));
+        let findings = lint_source_configured(&ctx, Path::new(rel), &source, &config);
+        assert!(
+            !findings.is_empty(),
+            "{stem}_deny.rs: expected at least one {rule} finding"
+        );
+        for f in &findings {
+            assert_eq!(
+                f.rule, rule,
+                "{stem}_deny.rs: unexpected rule {} at {}:{}",
+                f.rule, f.line, f.col
+            );
+        }
+    }
+}
+
+#[test]
+fn arch_allow_fixtures_lint_clean() {
+    let config = LintConfig::embedded();
+    for (stem, _rule, ctx, rel) in arch_cases() {
+        let source = read_fixture(&format!("{stem}_allow.rs"));
+        let findings = lint_source_configured(&ctx, Path::new(rel), &source, &config);
+        assert!(
+            findings.is_empty(),
+            "{stem}_allow.rs: unexpected findings: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn layering_except_entries_are_exempt() {
+    // the deny fixture's import is legal from the sanctioned wiring
+    // site named in the edge's `except` list
+    let config = LintConfig::embedded();
+    let source = read_fixture("l1_layering_deny.rs");
+    let findings = lint_source_configured(
+        &FileContext::lib("core"),
+        Path::new("crates/core/src/tools/mod.rs"),
+        &source,
+        &config,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]

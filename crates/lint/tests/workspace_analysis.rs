@@ -1,0 +1,288 @@
+//! Workspace-level contract tests: the committed crate-graph snapshot,
+//! the CLI exit-code contract (0 clean / 1 findings / 2 tool error),
+//! the machine-readable formats, the baseline workflow, and `--fix`.
+//!
+//! The end-to-end cases run the real `abw-lint` binary against the
+//! mini-workspace fixture (`tests/fixtures/mini_workspace/`), whose
+//! on-disk `lint.toml` declares one forbidden layering edge and a D9
+//! registry pairing with one missing and one stale entry.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use abw_lint::config::LintConfig;
+use abw_lint::output;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+fn mini_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_workspace")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abw-lint"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("abw_lint_ws_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let dst = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &dst);
+        } else {
+            std::fs::copy(entry.path(), &dst).unwrap();
+        }
+    }
+}
+
+#[test]
+fn import_graph_snapshot_is_current() {
+    let analysis =
+        abw_lint::analyze_workspace(repo_root(), &LintConfig::embedded()).expect("walk workspace");
+    let snap_path = repo_root().join("crates/lint/tests/import_graph.snap");
+    let committed = std::fs::read_to_string(&snap_path).expect("read committed snapshot");
+    assert_eq!(
+        analysis.graph, committed,
+        "the crate import graph drifted from the committed snapshot; \
+         regenerate with `cargo run -p abw-lint -- --write-graph` and \
+         review the new edges"
+    );
+}
+
+#[test]
+fn mini_workspace_fires_layering_and_registry() {
+    let out = bin().arg(mini_root()).output().expect("spawn abw-lint");
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("L1(layering)"), "missing L1:\n{stdout}");
+    assert!(
+        stdout.contains("beta.rs:1"),
+        "L1 anchors at the import:\n{stdout}"
+    );
+    assert!(stdout.contains("D9(registry)"), "missing D9:\n{stdout}");
+    assert!(
+        stdout.contains("`beta.rs`"),
+        "beta.rs is unregistered:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("ghost"),
+        "ghost is a stale entry:\n{stdout}"
+    );
+    // mod.rs imports the simulator too, but it is the except entry
+    assert!(
+        !stdout.contains("mod.rs:"),
+        "except entry must stay clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn malformed_config_exits_2() {
+    let dir = temp_dir("bad_config");
+    std::fs::write(dir.join("lint.toml"), "[layering\nsnapshot = oops").unwrap();
+    let out = bin().arg(&dir).output().expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "config errors must exit 2, not pass as clean"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("lint.toml"),
+        "error names the config file:\n{stderr}"
+    );
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = bin().arg("--list-rules").output().expect("spawn abw-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8", "D9", "L1"] {
+        assert!(
+            stdout.contains(id),
+            "--list-rules must name {id}:\n{stdout}"
+        );
+    }
+    for name in ["panic_free", "units", "registry", "layering"] {
+        assert!(
+            stdout.contains(name),
+            "--list-rules must name {name}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn json_output_round_trips_and_validates() {
+    let dir = temp_dir("json");
+    let json_path = dir.join("lint.json");
+    let out = bin()
+        .arg(mini_root())
+        .args(["--format", "json", "--out"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "findings still exit 1 with --out"
+    );
+
+    let entries = output::parse_flat(&std::fs::read_to_string(&json_path).unwrap())
+        .expect("own JSON output must parse under the flat schema");
+    assert_eq!(entries.len(), 3, "{entries:?}");
+    assert!(entries.iter().any(|e| e.rule == "L1"));
+    assert_eq!(entries.iter().filter(|e| e.rule == "D9").count(), 2);
+    for e in &entries {
+        assert!(!e.file.is_empty() && e.line > 0 && e.col > 0, "{e:?}");
+    }
+
+    let out = bin()
+        .arg("--validate-json")
+        .arg(&json_path)
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--validate-json accepts our own output"
+    );
+
+    std::fs::write(dir.join("broken.json"), "[{\"rule\": \"D1\"}]").unwrap();
+    let out = bin()
+        .arg("--validate-json")
+        .arg(dir.join("broken.json"))
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(out.status.code(), Some(2), "schema violations exit 2");
+}
+
+#[test]
+fn sarif_output_carries_results_and_rule_metadata() {
+    let out = bin()
+        .arg(mini_root())
+        .args(["--format", "sarif"])
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"ruleId\": \"L1\""));
+    assert!(sarif.contains("\"ruleId\": \"D9\""));
+    assert!(sarif.contains("beta.rs"));
+    assert!(sarif.contains("\"startLine\": 1"));
+}
+
+#[test]
+fn baseline_suppresses_known_findings_and_flags_stale_entries() {
+    let dir = temp_dir("baseline");
+    let baseline = dir.join("lint-baseline.json");
+
+    let out = bin()
+        .arg(mini_root())
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--write-baseline always exits 0"
+    );
+
+    // every current finding is in the baseline → clean
+    let out = bin()
+        .arg(mini_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "baselined findings are suppressed:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // an entry that no longer fires is stale: --baseline-check fails
+    let stale = dir.join("stale.json");
+    std::fs::write(
+        &stale,
+        "[{\"rule\": \"D1\", \"file\": \"crates/nope.rs\", \"msg\": \"Instant::now\"}]",
+    )
+    .unwrap();
+    let out = bin()
+        .arg(mini_root())
+        .arg("--baseline")
+        .arg(&stale)
+        .arg("--baseline-check")
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale baseline entries must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("stale baseline entry"), "{stderr}");
+}
+
+#[test]
+fn fix_annotates_findings_until_the_tree_is_clean() {
+    let dir = temp_dir("fix");
+    copy_tree(&mini_root(), &dir);
+
+    let out = bin()
+        .arg(&dir)
+        .args(["--fix", "--reason", "fixture: sanctioned for the fix test"])
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--fix exits 0 after writing:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let beta = std::fs::read_to_string(dir.join("crates/core/src/tools/beta.rs")).unwrap();
+    assert!(
+        beta.contains("// lint: allow(layering) -- fixture: sanctioned for the fix test"),
+        "marker carries the reason:\n{beta}"
+    );
+
+    let out = bin().arg(&dir).output().expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "annotated tree lints clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn fix_without_reason_is_rejected() {
+    let out = bin()
+        .arg(mini_root())
+        .arg("--fix")
+        .output()
+        .expect("spawn abw-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "--fix without --reason is a usage error"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--reason"), "{stderr}");
+}

@@ -175,16 +175,16 @@ impl fmt::Display for SimDuration {
     }
 }
 
-/// Time to serialise `bytes` onto a link of `bits_per_sec` capacity,
+/// Time to serialise `bytes` onto a link of `rate_bps` capacity,
 /// rounded to the nearest nanosecond.
 ///
 /// Panics when the rate is not strictly positive and finite.
-pub fn transmission_time(bytes: u32, bits_per_sec: f64) -> SimDuration {
+pub fn transmission_time(bytes: u32, rate_bps: f64) -> SimDuration {
     assert!(
-        bits_per_sec.is_finite() && bits_per_sec > 0.0,
-        "link rate must be positive, got {bits_per_sec}"
+        rate_bps.is_finite() && rate_bps > 0.0,
+        "link rate must be positive, got {rate_bps}"
     );
-    let ns = (bytes as f64 * 8.0 * 1e9 / bits_per_sec).round() as u64;
+    let ns = (bytes as f64 * 8.0 * 1e9 / rate_bps).round() as u64;
     SimDuration::from_nanos(ns)
 }
 

@@ -115,7 +115,9 @@ pub struct TcpSender {
     una: u64,
     /// Next segment to send.
     next_seq: u64,
+    // lint: allow(units) -- canonical TCP name; unit is segments
     cwnd: f64,
+    // lint: allow(units) -- canonical TCP name; unit is segments
     ssthresh: f64,
     dup_acks: u32,
     /// End of the current fast-recovery episode (`next_seq` at entry).
@@ -131,6 +133,7 @@ pub struct TcpSender {
     /// Smoothed RTT (seconds); `None` before the first sample.
     srtt: Option<f64>,
     /// RTT variation (seconds).
+    // lint: allow(units) -- canonical RFC 6298 name; seconds
     rttvar: f64,
     started_at: Option<SimTime>,
     /// Completion time (size-limited transfers only).

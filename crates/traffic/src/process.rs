@@ -95,6 +95,7 @@ impl PoissonProcess {
     /// A Poisson stream averaging `rate_bps` with the given sizes and seed.
     pub fn new(rate_bps: f64, sizes: SizeDist, seed: u64) -> Self {
         assert!(rate_bps > 0.0, "rate must be positive");
+        // lint: allow(units) -- the `_sec` is the divisor of a compound unit, not a suffix
         let pkts_per_sec = rate_bps / (8.0 * sizes.mean());
         PoissonProcess {
             rate_bps,

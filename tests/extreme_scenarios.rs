@@ -16,10 +16,14 @@ fn evaluate_all_tools(src: &str, name: &str) {
     let spec = ScenarioSpec::parse(src, name).expect("extreme spec must parse");
     // no `tools` line: the whole registry runs
     assert!(spec.tools.is_empty());
-    let outcomes = fuzz::evaluate(&spec, 2, None)
+    let run = fuzz::evaluate(&spec, 2, None, None)
         .unwrap_or_else(|e| panic!("{name} failed the fuzz gauntlet: {e}"));
+    assert!(
+        run.timeouts.is_empty(),
+        "{name}: unbounded run cannot time out"
+    );
     assert_eq!(
-        outcomes.len(),
+        run.outcomes.len(),
         registry::all().len() * spec.seeds.len() * spec.rounds as usize,
         "{name}: every registry tool must produce a verdict"
     );

@@ -43,6 +43,33 @@ fn fingerprint_is_reproducible_across_runs_and_worker_counts() {
     );
 }
 
+#[test]
+fn scenario_budget_times_out_cells_without_failing_and_changes_the_fingerprint() {
+    let mut unbounded = FuzzConfig::new(3, 2);
+    unbounded.jobs = 1;
+    let baseline = fuzz::run(&unbounded);
+    assert_eq!(baseline.timeouts, 0);
+
+    // 1 simulated millisecond fits no estimation round: every cell
+    // times out, none of that is a failure, and the fingerprint moves
+    // (the budget and the missing verdicts are both part of it)
+    let mut bounded = unbounded.clone();
+    bounded.max_scenario_ms = Some(1);
+    let report = fuzz::run(&bounded);
+    assert!(report.failures.is_empty(), "timeouts must not be failures");
+    assert!(report.timeouts > 0, "1 ms must time out every cell");
+    assert_eq!(report.outcomes, 0);
+    assert_ne!(
+        report.fingerprint, baseline.fingerprint,
+        "bounded and unbounded runs are different experiments"
+    );
+
+    // and the bounded run is reproducible too
+    let again = fuzz::run(&bounded);
+    assert_eq!(report.fingerprint, again.fingerprint);
+    assert_eq!(report.timeouts, again.timeouts);
+}
+
 fn injected_violation(_spec: &ScenarioSpec, _outcomes: &[SpecOutcome]) -> Result<(), String> {
     Err("injected invariant violation".to_string())
 }

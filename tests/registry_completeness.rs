@@ -1,56 +1,13 @@
-//! The registry must stay in lockstep with the `tools/` directory: a
-//! new estimator module that forgets its registry entry silently drops
-//! out of the shootout, the golden pin, the tracking experiment and the
-//! examples. This test enumerates the source tree at run time, so adding
-//! `tools/foo.rs` without registering it fails CI.
+//! Registry hygiene that needs a running binary: name uniqueness and
+//! the find() round trip. Registry *exhaustiveness* — every module in
+//! `tools/` has an entry and every entry points at a real module — is
+//! checked statically by abw-lint's D9 rule (`abw-lint --list-rules`),
+//! which replaced the filesystem scan that used to live here.
 
 use std::collections::BTreeSet;
-use std::path::Path;
 
 use abwe::core::tools::registry::{self, ToolConfig};
 use abwe::core::tools::Action;
-
-/// The module stems under `crates/core/src/tools/` that implement
-/// estimators (everything except the trait/driver plumbing).
-fn estimator_modules() -> BTreeSet<String> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src/tools");
-    std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
-        .map(|entry| entry.expect("readable dir entry").path())
-        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
-        .map(|p| {
-            p.file_stem()
-                .expect("rs file has a stem")
-                .to_string_lossy()
-                .into_owned()
-        })
-        .filter(|stem| stem != "mod" && stem != "registry")
-        .collect()
-}
-
-#[test]
-fn every_tool_module_has_a_registry_entry() {
-    let modules = estimator_modules();
-    assert!(!modules.is_empty(), "tools/ directory not found");
-    let registered: BTreeSet<String> = registry::all()
-        .iter()
-        .map(|e| e.module.to_string())
-        .collect();
-    for module in &modules {
-        assert!(
-            registered.contains(module),
-            "tools/{module}.rs has no registry entry — add it to \
-             `registry::TOOLS` so the shootout, golden pin and tracking \
-             experiment cover it"
-        );
-    }
-    for module in &registered {
-        assert!(
-            modules.contains(module),
-            "registry entry points at tools/{module}.rs, which does not exist"
-        );
-    }
-}
 
 #[test]
 fn names_are_unique_and_kebab_case() {

@@ -8,21 +8,32 @@
 //!   fixed span of simulated time with no probing: raw simulator
 //!   throughput in packets/s and events/s of wall time;
 //! * `shootout_quick` — the quick tool shootout, wall time at
-//!   `jobs = 1` and `jobs = max`, plus heap traffic of the serial leg
-//!   (this binary installs the counting allocator);
+//!   `jobs = 1` and `jobs = max`, plus heap traffic of both legs
+//!   (this binary installs the counting allocator; the parallel leg
+//!   records the summed traffic of every worker);
 //! * `loss_sweep_quick` — the quick loss sweep, wall time at both
 //!   worker counts (skipped under `--quick`);
 //! * `tool_cost` — one quick drive per registry tool: probe packets
 //!   sent and simulator events consumed per estimate.
 //!
-//! Usage: `perf [--quick] [--out PATH] [--compare] [--check PATH]`
+//! Usage: `perf [--quick] [--out PATH] [--compare] [--allow-dirty]
+//! [--check PATH]`
 //!
 //! * `--quick`    CI-sized run: shorter micro-loop, no loss sweep;
 //! * `--out`      output path (default `BENCH_6.json`);
 //! * `--compare`  diff against the previous `BENCH_<n>.json` next to
 //!   the output file and flag >10 % regressions (direction-aware);
+//! * `--allow-dirty`  record from an uncommitted tree anyway; the
+//!   `git` field keeps the `-dirty` suffix so the provenance is on
+//!   the record. Without it the harness refuses: a committed baseline
+//!   must be reproducible from its recorded revision;
 //! * `--check`    validate an existing file instead of measuring:
-//!   schema parses, every value finite and positive, ≥ 8 records.
+//!   schema parses, every value finite and positive, ≥ 8 records;
+//! * `--diff OLD NEW`  compare two existing `BENCH_*.json` files
+//!   (direction-aware, same >10 % threshold as `--compare`) and exit
+//!   non-zero when any metric regressed — the CI gate between the two
+//!   committed baselines, which is deterministic because both were
+//!   recorded on the same machine from clean trees.
 //!
 //! Set `ABW_PROF=1` to also get the span-tree report on stderr.
 
@@ -52,6 +63,13 @@ fn main() {
         });
         std::process::exit(check(&path));
     }
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--diff needs OLD and NEW file arguments");
+            std::process::exit(2);
+        };
+        std::process::exit(diff(&PathBuf::from(old), &PathBuf::from(new)));
+    }
 
     let quick = args.iter().any(|a| a == "--quick");
     let compare = args.iter().any(|a| a == "--compare");
@@ -68,6 +86,14 @@ fn main() {
         .param_str("mode", if quick { "quick" } else { "full" });
 
     let git = abw_obs::manifest::detect_version();
+    if git.ends_with("-dirty") && !args.iter().any(|a| a == "--allow-dirty") {
+        eprintln!(
+            "refusing to record a baseline from a dirty tree ({git}): \
+             commit first, or pass --allow-dirty to keep the -dirty \
+             provenance on every record"
+        );
+        std::process::exit(2);
+    }
     let max_jobs = available_workers() as u64;
     let mut records: Vec<perf::BenchRecord> = Vec::new();
     let push = |records: &mut Vec<perf::BenchRecord>,
@@ -144,26 +170,28 @@ fn main() {
             "ms",
             jobs,
         );
-        if jobs == 1 {
-            // heap traffic is only meaningful single-threaded, where no
-            // concurrent workload shares the allocator totals
-            push(
-                &mut records,
-                "shootout_quick",
-                "heap_allocs",
-                d.get(Cost::HeapAllocs) as f64,
-                "count",
-                jobs,
-            );
-            push(
-                &mut records,
-                "shootout_quick",
-                "heap_bytes",
-                d.get(Cost::HeapBytes) as f64,
-                "bytes",
-                jobs,
-            );
-        }
+        // Heap traffic on both legs: the counting allocator totals are
+        // process-global, so the parallel leg's delta is the summed
+        // traffic of every worker — the same simulations run on either
+        // leg, and a worker pool that inflated allocation (per-thread
+        // buffers regrowing, results copied instead of moved) should
+        // fail the gate just like the serial leg would.
+        push(
+            &mut records,
+            "shootout_quick",
+            "heap_allocs",
+            d.get(Cost::HeapAllocs) as f64,
+            "count",
+            jobs,
+        );
+        push(
+            &mut records,
+            "shootout_quick",
+            "heap_bytes",
+            d.get(Cost::HeapBytes) as f64,
+            "bytes",
+            jobs,
+        );
         eprintln!(
             "shootout_quick jobs={jobs}: {:.0} ms, {} rows",
             wall_ms,
@@ -283,6 +311,38 @@ fn main() {
 /// is measured even on a single-core machine.
 fn jobs_legs(max_jobs: u64) -> Vec<u64> {
     vec![1, max_jobs.max(2)]
+}
+
+/// `--diff`: direction-aware comparison of two committed baselines;
+/// exit 1 when anything moved >10 % in the bad direction.
+fn diff(old_path: &PathBuf, new_path: &PathBuf) -> i32 {
+    let read = |p: &PathBuf| -> Vec<perf::BenchRecord> {
+        match std::fs::read_to_string(p) {
+            Ok(b) => perf::parse_file(&b),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", p.display());
+                std::process::exit(2);
+            }
+        }
+    };
+    let old = read(old_path);
+    let new = read(new_path);
+    println!(
+        "{} ({} records) vs {} ({} records), threshold {:.0}%:",
+        old_path.display(),
+        old.len(),
+        new_path.display(),
+        new.len(),
+        REGRESSION_THRESHOLD * 100.0,
+    );
+    let deltas = perf::compare(&old, &new, REGRESSION_THRESHOLD);
+    print!("{}", perf::render_deltas(&deltas));
+    if deltas.iter().any(|d| d.regression) {
+        eprintln!("regression gate failed");
+        1
+    } else {
+        0
+    }
 }
 
 /// `--check`: validates an existing `BENCH_*.json` for CI.

@@ -98,7 +98,7 @@ impl Bfind {
         BfindEstimator {
             config: self.config.clone(),
             baseline: None,
-            rate: 0.0,
+            rate_bps: 0.0,
             epochs: Vec::new(),
             packets: 0,
             result: None,
@@ -125,8 +125,8 @@ pub struct BfindEstimator {
     config: BfindConfig,
     /// Per-hop median RTTs of the no-load epoch; `None` until observed.
     baseline: Option<Vec<f64>>,
-    /// Load rate of the epoch in flight.
-    rate: f64,
+    /// Load rate of the epoch in flight, bits/s.
+    rate_bps: f64,
     epochs: Vec<BfindEpoch>,
     packets: u64,
     /// `(avail, tight_hop)` once some hop flagged.
@@ -143,18 +143,19 @@ impl Estimator for BfindEstimator {
             // baseline epoch with no load
             return Action::Send(tool.ramp(0.0));
         };
+        // lint: allow(panic_free) -- reply kind matches the request this estimator issued
         let sample = obs.load_ramp().expect("BFind sends load ramps");
         let rtts: Vec<f64> = sample.hop_rtts.iter().map(|v| median(v)).collect();
         self.packets = sample.probe_packets;
 
         let Some(baseline) = &self.baseline else {
             self.baseline = Some(rtts);
-            self.rate = self.config.start_rate_bps;
-            return Action::Send(tool.ramp(self.rate));
+            self.rate_bps = self.config.start_rate_bps;
+            return Action::Send(tool.ramp(self.rate_bps));
         };
 
         self.epochs.push(BfindEpoch {
-            rate_bps: self.rate,
+            rate_bps: self.rate_bps,
             hop_rtts: rtts.clone(),
         });
         // a queue at link k inflates the probes of links k, k+1, ...;
@@ -173,16 +174,16 @@ impl Estimator for BfindEstimator {
             "bfind.epoch",
             vec![
                 ("iter", (self.epochs.len() - 1).into()),
-                ("rate_bps", self.rate.into()),
+                ("rate_bps", self.rate_bps.into()),
                 ("flagged_hop", flagged.map_or(-1i64, |h| h as i64).into()),
             ],
         ));
         if let Some(hop) = flagged {
-            self.result = Some((self.rate - self.config.rate_step_bps, hop));
+            self.result = Some((self.rate_bps - self.config.rate_step_bps, hop));
         } else {
-            self.rate += self.config.rate_step_bps;
-            if self.rate <= self.config.max_rate_bps {
-                return Action::Send(tool.ramp(self.rate));
+            self.rate_bps += self.config.rate_step_bps;
+            if self.rate_bps <= self.config.max_rate_bps {
+                return Action::Send(tool.ramp(self.rate_bps));
             }
         }
 

@@ -204,6 +204,11 @@ static TOOLS: [ToolEntry; 11] = [
             )
         },
     },
+    // Sends pathChirp's exact chirp stream (same start rate, gamma,
+    // packets per chirp) and differs only in receiver-side smoothing,
+    // so its perf-harness cost rows are byte-identical to
+    // `pathchirp`'s by construction. Pinned by
+    // `shared_engine_tool_pairs_have_identical_probe_cost`.
     ToolEntry {
         name: "schirp",
         module: "schirp",
@@ -234,6 +239,10 @@ static TOOLS: [ToolEntry; 11] = [
             )
         },
     },
+    // Shares the Igi probing engine with the entry above — only the
+    // estimator differs, so its perf-harness cost rows (probe packets,
+    // events) are byte-identical to `igi`'s by construction. Pinned by
+    // `shared_engine_tool_pairs_have_identical_probe_cost`.
     ToolEntry {
         name: "ptr",
         module: "igi",

@@ -476,6 +476,12 @@ impl<'t> Parser<'t> {
                     depth_angle -= 1;
                     i += 1;
                 }
+                // the lexer fuses `>>` into one shift token; in type
+                // position (`Vec<Vec<T>>`) it closes two generic scopes
+                (TokenKind::Punct, ">>") => {
+                    depth_angle -= 2;
+                    i += 1;
+                }
                 (TokenKind::Ident, "for") if depth_angle == 0 => {
                     saw_for = true;
                     i += 1;
@@ -525,6 +531,11 @@ impl<'t> Parser<'t> {
                     depth_angle -= 1;
                     i += 1;
                 }
+                // fused shift token closing two generic scopes
+                ">>" => {
+                    depth_angle -= 2;
+                    i += 1;
+                }
                 "{" if depth_angle == 0 => {
                     self.scopes.push(Scope::Struct);
                     return i + 1;
@@ -565,6 +576,11 @@ impl<'t> Parser<'t> {
                 match tt.text.as_str() {
                     "<" | "(" | "[" => depth += 1,
                     ">" | ")" | "]" => depth -= 1,
+                    // fused shift token: `Option<Box<T>>` closes twice.
+                    // Without this the field swallowed the rest of the
+                    // file and silently disabled D7/D8 on every item
+                    // after the struct.
+                    ">>" => depth -= 2,
                     "," if depth <= 0 => return i + 1,
                     "}" if depth <= 0 => return i, // let the loop close the scope
                     _ => {}
@@ -609,6 +625,7 @@ impl<'t> Parser<'t> {
             match t.text.as_str() {
                 "<" => depth_angle += 1,
                 ">" => depth_angle -= 1,
+                ">>" => depth_angle -= 2, // fused shift token in generics
                 "(" if depth_angle == 0 => break,
                 ";" => return i + 1, // malformed / macro fragment
                 _ => {}
@@ -663,6 +680,7 @@ impl<'t> Parser<'t> {
             match t.text.as_str() {
                 "<" | "(" | "[" => depth += 1,
                 ">" | ")" | "]" => depth -= 1,
+                ">>" => depth -= 2, // fused shift token: `-> Vec<Vec<T>>`
                 ";" if depth <= 0 => return i + 1, // bodiless trait method
                 "{" if depth <= 0 => {
                     let fn_idx = self.model.fns.len();

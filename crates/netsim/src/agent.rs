@@ -10,8 +10,9 @@ use std::any::Any;
 
 use abw_obs::{Event as ObsEvent, Field, Phase, Recorder};
 
+use crate::arena::PacketArena;
 use crate::event::{Event, EventQueue};
-use crate::packet::{AgentId, Packet, PathId};
+use crate::packet::{AgentId, FlowId, Packet, PacketKind, PathId};
 use crate::time::{SimDuration, SimTime};
 
 /// Behaviour of a simulation endpoint.
@@ -31,6 +32,67 @@ pub trait Agent: Any + Send {
 
     /// Called when a packet addressed to this agent is delivered.
     fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: Packet) {}
+
+    /// The agent's fluid-source view, when it has one.
+    ///
+    /// A fluid source is an agent whose *entire* timer behaviour is "draw
+    /// the next (gap, size), send one packet now, re-arm the same timer"
+    /// — exactly the shape of a cross-traffic generator. Exposing that
+    /// shape lets the simulator run the source through the fluid
+    /// fast-forward loop in [`run_until`](crate::sim::Simulator::run_until),
+    /// which produces bit-identical state without a queue round-trip per
+    /// packet. Agents with any other timer behaviour must return `None`.
+    fn fluid_source(&mut self) -> Option<&mut dyn FluidSource> {
+        None
+    }
+
+    /// True when `on_packet` only updates internal counters: it never
+    /// sends, schedules, or emits trace events. Deliveries to passive
+    /// sinks may be processed inside a fluid fast-forward window.
+    fn is_passive_sink(&self) -> bool {
+        false
+    }
+}
+
+/// One step of a fluid source's timer loop (see [`Agent::fluid_source`]).
+#[derive(Debug, Clone, Copy)]
+pub enum FluidStep {
+    /// Send a `size`-byte packet with sequence number `seq` now, and
+    /// fire the timer again after `gap`.
+    Send {
+        gap: SimDuration,
+        size: u32,
+        seq: u64,
+    },
+    /// The source has stopped; do not re-arm the timer.
+    Stop,
+}
+
+/// Static routing of a fluid source's packets: every packet it emits
+/// goes down the same path to the same destination.
+#[derive(Debug, Clone, Copy)]
+pub struct FluidRoute {
+    /// Path the packets travel.
+    pub path: PathId,
+    /// Destination agent.
+    pub dst: AgentId,
+    /// Flow id stamped on the packets.
+    pub flow: FlowId,
+    /// Packet kind stamped on the packets.
+    pub kind: PacketKind,
+}
+
+/// The timer loop of a cross-traffic generator, factored so the
+/// simulator can drive it directly (fluid fast-forward) with exactly
+/// the same RNG draws and counter updates as the `on_timer` path.
+pub trait FluidSource {
+    /// Where this source's packets go.
+    fn fluid_route(&self) -> FluidRoute;
+
+    /// Performs one timer firing at `now`: the draw, the send-side
+    /// counter updates, and the decision to stop. Must mutate exactly
+    /// the state `on_timer` would, in the same order.
+    fn fluid_step(&mut self, now: SimTime) -> FluidStep;
 }
 
 /// Handle through which an agent acts on the simulation.
@@ -38,6 +100,7 @@ pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) agent: AgentId,
     pub(crate) events: &'a mut EventQueue,
+    pub(crate) arena: &'a mut PacketArena,
     pub(crate) next_packet_id: &'a mut u64,
     pub(crate) injected: &'a mut u64,
     pub(crate) recorder: Option<&'a mut (dyn Recorder + 'static)>,
@@ -86,7 +149,8 @@ impl Ctx<'_> {
         packet.hop = 0;
         packet.sent_at = self.now;
         *self.injected += 1;
-        self.events.push(self.now, Event::Arrive { packet });
+        let pkt = self.arena.alloc(packet);
+        self.events.push(self.now, Event::Arrive { packet: pkt });
     }
 
     /// Delivers `packet` directly to `dst` after `delay`, bypassing all
@@ -97,8 +161,14 @@ impl Ctx<'_> {
         packet.src = self.agent;
         packet.sent_at = self.now;
         *self.injected += 1;
-        self.events
-            .push(self.now + delay, Event::Deliver { agent: dst, packet });
+        let pkt = self.arena.alloc(packet);
+        self.events.push(
+            self.now + delay,
+            Event::Deliver {
+                agent: dst,
+                packet: pkt,
+            },
+        );
     }
 
     /// Schedules `on_timer(token)` for this agent after `delay`.
@@ -166,6 +236,10 @@ impl Agent for CountingSink {
             self.first_arrival = Some(ctx.now());
         }
         self.last_arrival = Some(ctx.now());
+    }
+
+    fn is_passive_sink(&self) -> bool {
+        true
     }
 }
 

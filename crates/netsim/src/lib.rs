@@ -36,6 +36,7 @@
 //! ```
 
 pub mod agent;
+pub mod arena;
 pub mod event;
 pub mod impair;
 pub mod invariants;
@@ -44,7 +45,8 @@ pub mod packet;
 pub mod sim;
 pub mod time;
 
-pub use agent::{packet_to, Agent, CountingSink, Ctx};
+pub use agent::{packet_to, Agent, CountingSink, Ctx, FluidRoute, FluidSource, FluidStep};
+pub use arena::{PacketArena, PacketRef};
 pub use impair::{Impairment, ImpairmentConfig, LossModel, ReorderSpec};
 pub use link::{BusyLog, Link, LinkConfig, LinkCounters};
 pub use packet::{AgentId, FlowId, LinkId, Packet, PacketKind, PathId, DEFAULT_TTL};

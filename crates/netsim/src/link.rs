@@ -11,11 +11,10 @@ use std::collections::VecDeque;
 
 use abw_obs::manifest::LinkSnapshot;
 use abw_obs::metrics::LogLinearHistogram;
-use abw_obs::prof::{self, Cost};
 
+use crate::arena::PacketRef;
 use crate::impair::{Impairment, ImpairmentConfig, IngressDecision};
 use crate::invariants::invariant;
-use crate::packet::Packet;
 use crate::time::{transmission_time, SimDuration, SimTime};
 
 /// Static configuration of a link.
@@ -131,11 +130,21 @@ pub enum EnqueueOutcome {
     Impaired,
 }
 
+/// One queued packet: the arena handle plus the only field the link
+/// itself ever reads — the wire size. Keeping the size inline lets the
+/// byte ledger, the busy-period maths and `queueing_delay` run without
+/// touching the arena.
+#[derive(Debug, Clone, Copy)]
+struct QueuedPacket {
+    pkt: PacketRef,
+    size: u32,
+}
+
 /// A store-and-forward link.
 #[derive(Debug)]
 pub struct Link {
     config: LinkConfig,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<QueuedPacket>,
     queued_bytes: u64,
     /// Set while a packet is being serialised onto the wire.
     transmitting: bool,
@@ -163,6 +172,11 @@ pub struct Link {
     /// previous one (a flap took effect); consumed by the simulator to
     /// emit a `link.flap` event.
     flap_pending: Option<f64>,
+    /// Memo of the last `(size, rate) → serialisation time` computation;
+    /// steady streams of same-size packets skip the floating-point
+    /// rounding entirely. Pure caching — hits return exactly what
+    /// [`transmission_time`] would.
+    tx_memo: (u32, f64, SimDuration),
 }
 
 impl Link {
@@ -182,7 +196,20 @@ impl Link {
             impairment: None,
             tx_capacity_bps: config.capacity_bps,
             flap_pending: None,
+            tx_memo: (0, 0.0, SimDuration::ZERO),
         }
+    }
+
+    /// [`transmission_time`] through the one-entry memo.
+    #[inline]
+    fn tx_time(&mut self, size: u32, rate_bps: f64) -> SimDuration {
+        let (ms, mr, md) = self.tx_memo;
+        if ms == size && mr == rate_bps {
+            return md;
+        }
+        let d = transmission_time(size, rate_bps);
+        self.tx_memo = (size, rate_bps, d);
+        d
     }
 
     /// Installs an impairment pipeline, replacing any existing one.
@@ -302,15 +329,23 @@ impl Link {
         self.transmitting
     }
 
-    /// Offers a packet to the link at time `now`.
+    /// Offers a packet (by arena handle plus wire size) to the link at
+    /// time `now`.
     ///
     /// On `Accepted { starts_service: true }` the caller must immediately
-    /// call [`Link::start_transmission`] and schedule its completion.
-    pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> EnqueueOutcome {
+    /// call [`Link::start_transmission`] and schedule its completion. On
+    /// `Dropped` / `Impaired` the caller still owns the handle and must
+    /// free it.
+    ///
+    /// Profiling contract: the link does not tally `Cost::QueueOps`
+    /// itself — each caller counts one op per accepted enqueue, so the
+    /// fluid fast path can batch its tallies per window instead of
+    /// paying a thread-local increment per packet.
+    pub fn enqueue(&mut self, pkt: PacketRef, size: u32, _now: SimTime) -> EnqueueOutcome {
         if let Some(imp) = self.impairment.as_deref_mut() {
             if imp.ingress() == IngressDecision::Lose {
                 self.counters.impaired_pkts += 1;
-                self.counters.impaired_bytes += packet.size as u64;
+                self.counters.impaired_bytes += size as u64;
                 return EnqueueOutcome::Impaired;
             }
         }
@@ -318,15 +353,14 @@ impl Link {
             // The byte bound applies once the system holds a packet; an idle
             // link always accepts, so a packet larger than the bound can
             // still cross it.
-            if !self.queue.is_empty() && self.queued_bytes + packet.size as u64 > limit {
+            if !self.queue.is_empty() && self.queued_bytes + size as u64 > limit {
                 self.counters.dropped_pkts += 1;
-                self.counters.dropped_bytes += packet.size as u64;
+                self.counters.dropped_bytes += size as u64;
                 return EnqueueOutcome::Dropped;
             }
         }
-        prof::count(Cost::QueueOps);
-        self.queued_bytes += packet.size as u64;
-        self.queue.push_back(packet);
+        self.queued_bytes += size as u64;
+        self.queue.push_back(QueuedPacket { pkt, size });
         self.accepted_pkts += 1;
         let depth = self.queue.len() as u64;
         self.peak_queue_pkts = self.peak_queue_pkts.max(depth);
@@ -346,10 +380,12 @@ impl Link {
     /// both indicate an event-loop bug.
     pub fn start_transmission(&mut self, now: SimTime) -> SimTime {
         assert!(!self.transmitting, "link already transmitting");
-        let head = self
+        let head_size = self
             .queue
             .front()
-            .expect("start_transmission on empty queue");
+            // lint: allow(panic_free) -- asserted non-empty: service only starts on a queued head
+            .expect("start_transmission on empty queue")
+            .size;
         self.transmitting = true;
         self.tx_started_at = now;
         let effective = self.effective_capacity_bps(now);
@@ -357,48 +393,52 @@ impl Link {
             self.flap_pending = Some(effective);
         }
         self.tx_capacity_bps = effective;
-        now + transmission_time(head.size, effective)
+        now + self.tx_time(head_size, effective)
     }
 
     /// Completes the in-progress transmission at `now`, returning the
     /// transmitted packet. The caller forwards it and, when the return
     /// value's `next_starts_service` is true, schedules the next
     /// completion via [`Link::start_transmission`].
-    pub fn finish_transmission(&mut self, now: SimTime) -> (Packet, bool) {
+    ///
+    /// Profiling contract: as with [`Link::enqueue`], the caller tallies
+    /// the `Cost::QueueOps` unit for this dequeue (batched per window on
+    /// the fluid fast path).
+    pub fn finish_transmission(&mut self, now: SimTime) -> (PacketRef, bool) {
         assert!(self.transmitting, "no transmission in progress");
-        prof::count(Cost::QueueOps);
         self.transmitting = false;
-        let packet = self
+        let head = self
             .queue
             .pop_front()
+            // lint: allow(panic_free) -- asserted transmitting above; the head is on the wire
             .expect("transmission finished on empty queue");
         // busy-period bookkeeping: the completion event must fire exactly
         // one serialisation time after service began
         invariant!(
             now >= self.tx_started_at
                 && now.since(self.tx_started_at)
-                    == transmission_time(packet.size, self.tx_capacity_bps),
+                    == transmission_time(head.size, self.tx_capacity_bps),
             "link busy-period bookkeeping: tx of {} B started at {} but finished at {} \
              (capacity {} b/s)",
-            packet.size,
+            head.size,
             self.tx_started_at,
             now,
             self.tx_capacity_bps
         );
         invariant!(
-            self.queued_bytes >= packet.size as u64,
+            self.queued_bytes >= head.size as u64,
             "link queue depth went negative: {} queued bytes < {} B packet leaving",
             self.queued_bytes,
-            packet.size
+            head.size
         );
-        self.queued_bytes -= packet.size as u64;
+        self.queued_bytes -= head.size as u64;
         self.counters.forwarded_pkts += 1;
-        self.counters.forwarded_bytes += packet.size as u64;
+        self.counters.forwarded_bytes += head.size as u64;
         if self.config.record_busy {
             self.busy.push(self.tx_started_at, now);
         }
         self.check_conservation("finish_transmission");
-        (packet, !self.queue.is_empty())
+        (head.pkt, !self.queue.is_empty())
     }
 
     /// `ABW_CHECK` FIFO conservation: every packet accepted into the
@@ -431,6 +471,7 @@ impl Link {
         let rate = self.effective_capacity_bps(now);
         let mut ns = 0u64;
         if self.transmitting {
+            // lint: allow(panic_free) -- transmitting implies a head packet on the wire
             let head = self.queue.front().expect("transmitting without head");
             // the in-flight packet drains at the rate it was started at
             let done = self.tx_started_at + transmission_time(head.size, self.tx_capacity_bps);
@@ -450,9 +491,10 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{AgentId, FlowId, PacketKind, PathId, DEFAULT_TTL};
+    use crate::arena::PacketArena;
+    use crate::packet::{AgentId, FlowId, Packet, PacketKind, PathId, DEFAULT_TTL};
 
-    fn pkt(size: u32) -> Packet {
+    fn pkt(size: u32, seq: u64) -> Packet {
         Packet {
             id: 0,
             flow: FlowId(0),
@@ -461,11 +503,27 @@ mod tests {
             path: PathId(0),
             hop: 0,
             size,
-            seq: 0,
+            seq,
             sent_at: SimTime::ZERO,
             ttl: DEFAULT_TTL,
             kind: PacketKind::Data,
         }
+    }
+
+    /// Allocates a packet and offers it to the link.
+    fn offer(
+        l: &mut Link,
+        a: &mut PacketArena,
+        size: u32,
+        seq: u64,
+        now: SimTime,
+    ) -> EnqueueOutcome {
+        let r = a.alloc(pkt(size, seq));
+        let out = l.enqueue(r, size, now);
+        if !matches!(out, EnqueueOutcome::Accepted { .. }) {
+            a.take(r); // dropped/impaired packets are freed by the caller
+        }
+        out
     }
 
     fn test_link() -> Link {
@@ -476,15 +534,16 @@ mod tests {
     #[test]
     fn single_packet_service() {
         let mut l = test_link();
+        let mut a = PacketArena::new();
         let t0 = SimTime::ZERO;
-        match l.enqueue(pkt(1500), t0) {
+        match offer(&mut l, &mut a, 1500, 0, t0) {
             EnqueueOutcome::Accepted { starts_service } => assert!(starts_service),
             _ => panic!("accept expected"),
         }
         let done = l.start_transmission(t0);
         assert_eq!(done, SimTime::from_nanos(1_000_000));
-        let (p, more) = l.finish_transmission(done);
-        assert_eq!(p.size, 1500);
+        let (r, more) = l.finish_transmission(done);
+        assert_eq!(a.take(r).size, 1500);
         assert!(!more);
         assert_eq!(l.counters().forwarded_pkts, 1);
         assert_eq!(l.busy_log().total_busy(), SimDuration::from_millis(1));
@@ -493,30 +552,27 @@ mod tests {
     #[test]
     fn fifo_order_and_backlog() {
         let mut l = test_link();
+        let mut a = PacketArena::new();
         let t0 = SimTime::ZERO;
-        let mut a = pkt(1500);
-        a.seq = 1;
-        let mut b = pkt(1500);
-        b.seq = 2;
         assert_eq!(
-            l.enqueue(a, t0),
+            offer(&mut l, &mut a, 1500, 1, t0),
             EnqueueOutcome::Accepted {
                 starts_service: true
             }
         );
         let done1 = l.start_transmission(t0);
         assert_eq!(
-            l.enqueue(b, t0),
+            offer(&mut l, &mut a, 1500, 2, t0),
             EnqueueOutcome::Accepted {
                 starts_service: false
             }
         );
-        let (p1, more) = l.finish_transmission(done1);
-        assert_eq!(p1.seq, 1);
+        let (r1, more) = l.finish_transmission(done1);
+        assert_eq!(a.take(r1).seq, 1);
         assert!(more);
         let done2 = l.start_transmission(done1);
-        let (p2, more) = l.finish_transmission(done2);
-        assert_eq!(p2.seq, 2);
+        let (r2, more) = l.finish_transmission(done2);
+        assert_eq!(a.take(r2).seq, 2);
         assert!(!more);
         // back-to-back transmissions merge into one busy interval
         assert_eq!(l.busy_log().intervals().len(), 1);
@@ -527,30 +583,33 @@ mod tests {
     fn drop_tail() {
         let cfg = LinkConfig::new(12e6, SimDuration::ZERO).with_queue_bytes(3000);
         let mut l = Link::new(cfg);
+        let mut a = PacketArena::new();
         let t0 = SimTime::ZERO;
         assert!(matches!(
-            l.enqueue(pkt(1500), t0),
+            offer(&mut l, &mut a, 1500, 0, t0),
             EnqueueOutcome::Accepted { .. }
         ));
         l.start_transmission(t0);
         assert!(matches!(
-            l.enqueue(pkt(1500), t0),
+            offer(&mut l, &mut a, 1500, 1, t0),
             EnqueueOutcome::Accepted { .. }
         ));
         // third packet exceeds the 3000 B bound
-        assert_eq!(l.enqueue(pkt(1500), t0), EnqueueOutcome::Dropped);
+        assert_eq!(offer(&mut l, &mut a, 1500, 2, t0), EnqueueOutcome::Dropped);
         assert_eq!(l.counters().dropped_pkts, 1);
         assert_eq!(l.counters().dropped_bytes, 1500);
+        assert_eq!(a.in_flight(), 2, "dropped packet was freed by the caller");
     }
 
     #[test]
     fn queueing_delay_accumulates() {
         let mut l = test_link();
+        let mut a = PacketArena::new();
         let t0 = SimTime::ZERO;
         assert_eq!(l.queueing_delay(t0), SimDuration::ZERO);
-        l.enqueue(pkt(1500), t0);
+        offer(&mut l, &mut a, 1500, 0, t0);
         l.start_transmission(t0);
-        l.enqueue(pkt(1500), t0);
+        offer(&mut l, &mut a, 1500, 1, t0);
         // one full packet on the wire + one queued = 2 ms
         assert_eq!(l.queueing_delay(t0), SimDuration::from_millis(2));
         // halfway through the first transmission: 1.5 ms remain
@@ -572,7 +631,8 @@ mod tests {
     #[should_panic]
     fn double_start_panics() {
         let mut l = test_link();
-        l.enqueue(pkt(100), SimTime::ZERO);
+        let mut a = PacketArena::new();
+        offer(&mut l, &mut a, 100, 0, SimTime::ZERO);
         l.start_transmission(SimTime::ZERO);
         l.start_transmission(SimTime::ZERO);
     }
@@ -580,9 +640,10 @@ mod tests {
     #[test]
     fn impairment_loss_bypasses_queue() {
         let mut l = test_link();
+        let mut a = PacketArena::new();
         l.set_impairment(ImpairmentConfig::iid_loss(1.0), 1);
         assert_eq!(
-            l.enqueue(pkt(1500), SimTime::ZERO),
+            offer(&mut l, &mut a, 1500, 0, SimTime::ZERO),
             EnqueueOutcome::Impaired
         );
         let c = l.counters();
@@ -590,25 +651,27 @@ mod tests {
         assert_eq!(c.impaired_bytes, 1500);
         assert_eq!(c.dropped_pkts, 0, "impairment loss is not a queue drop");
         assert_eq!(l.queue_len(), 0, "lost packet never occupies the queue");
+        assert_eq!(a.in_flight(), 0, "lost packet was freed by the caller");
     }
 
     #[test]
     fn capacity_flap_changes_service_time() {
         // base 12 Mb/s (1500 B = 1 ms), flapped to 6 Mb/s at t = 10 ms
         let mut l = test_link();
+        let mut a = PacketArena::new();
         l.set_impairment(
             ImpairmentConfig::none().with_flap(SimTime::from_nanos(10_000_000), 6e6),
             0,
         );
         let t0 = SimTime::ZERO;
-        l.enqueue(pkt(1500), t0);
+        offer(&mut l, &mut a, 1500, 0, t0);
         let done = l.start_transmission(t0);
         assert_eq!(done.since(t0), SimDuration::from_millis(1));
         assert!(l.take_flap_event().is_none(), "rate unchanged before flap");
         l.finish_transmission(done);
 
         let t1 = SimTime::from_nanos(20_000_000);
-        l.enqueue(pkt(1500), t1);
+        offer(&mut l, &mut a, 1500, 1, t1);
         let done = l.start_transmission(t1);
         assert_eq!(done.since(t1), SimDuration::from_millis(2), "half rate");
         assert_eq!(l.take_flap_event(), Some(6e6));

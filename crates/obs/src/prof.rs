@@ -60,10 +60,18 @@ pub enum Cost {
     HeapAllocs = 5,
     /// Heap bytes requested (same caveat as [`Cost::HeapAllocs`]).
     HeapBytes = 6,
+    /// Eventless windows the calendar event queue skipped in bulk
+    /// (cursor jumps of more than one bucket — the "fluid fast-forward"
+    /// over provably idle simulated time).
+    FfSkips = 7,
+    /// Packets that bypassed the event queue entirely through the
+    /// simulator's fluid burst path (still counted in
+    /// [`Cost::PacketsSimulated`]).
+    FluidPackets = 8,
 }
 
 /// Number of [`Cost`] categories.
-const COSTS: usize = 7;
+const COSTS: usize = 9;
 
 /// Every category, in display order.
 pub const ALL_COSTS: [Cost; COSTS] = [
@@ -74,6 +82,8 @@ pub const ALL_COSTS: [Cost; COSTS] = [
     Cost::ToolSteps,
     Cost::HeapAllocs,
     Cost::HeapBytes,
+    Cost::FfSkips,
+    Cost::FluidPackets,
 ];
 
 impl Cost {
@@ -87,6 +97,8 @@ impl Cost {
             Cost::ToolSteps => "tool_steps",
             Cost::HeapAllocs => "heap_allocs",
             Cost::HeapBytes => "heap_bytes",
+            Cost::FfSkips => "ff_skips",
+            Cost::FluidPackets => "fluid_packets",
         }
     }
 }
@@ -101,6 +113,8 @@ static GLOBAL_COSTS: [AtomicU64; COSTS] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 
 thread_local! {
@@ -108,6 +122,8 @@ thread_local! {
     /// path. Flushed to [`GLOBAL_COSTS`] by [`flush_thread`].
     static LOCAL_COSTS: [Cell<u64>; COSTS] = const {
         [
+            Cell::new(0),
+            Cell::new(0),
             Cell::new(0),
             Cell::new(0),
             Cell::new(0),
@@ -657,6 +673,8 @@ mod tests {
                 "tool_steps",
                 "heap_allocs",
                 "heap_bytes",
+                "ff_skips",
+                "fluid_packets",
             ]
         );
     }

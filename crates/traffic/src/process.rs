@@ -26,6 +26,19 @@ pub trait ArrivalProcess: Send {
     fn set_rate_bps(&mut self, _rate_bps: f64) -> bool {
         false
     }
+
+    /// Appends the next `n` arrivals to `out` — exactly the values `n`
+    /// successive [`ArrivalProcess::next_arrival`] calls would yield.
+    ///
+    /// The default does just that, which already amortises the dynamic
+    /// dispatch to one virtual call per batch (the inner draws
+    /// monomorphise); overrides must produce the identical stream.
+    fn next_arrivals(&mut self, out: &mut Vec<(SimDuration, u32)>, n: usize) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_arrival());
+        }
+    }
 }
 
 /// Draws `Exp(mean)` seconds via inverse transform.

@@ -30,6 +30,9 @@
 //! * `--check`    validate an existing file instead of measuring:
 //!   schema parses, every value finite and positive, ≥ 8 records;
 //! * `--diff OLD NEW`  compare two existing `BENCH_*.json` files
+//! * `--accept B/M`    (with `--diff`, repeatable) report but do not
+//!   fail on regressions of metric `bench/metric` — the CI record of an
+//!   intended tradeoff (e.g. memory spent for throughput)
 //!   (direction-aware, same >10 % threshold as `--compare`) and exit
 //!   non-zero when any metric regressed — the CI gate between the two
 //!   committed baselines, which is deterministic because both were
@@ -68,7 +71,17 @@ fn main() {
             eprintln!("--diff needs OLD and NEW file arguments");
             std::process::exit(2);
         };
-        std::process::exit(diff(&PathBuf::from(old), &PathBuf::from(new)));
+        // `--accept bench/metric` (repeatable): regressions of that
+        // metric are reported but do not fail the gate — the record of
+        // an intended tradeoff lives in the CI invocation, not in a
+        // silently weakened comparison.
+        let accepted: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--accept")
+            .filter_map(|(j, _)| args.get(j + 1).map(String::as_str))
+            .collect();
+        std::process::exit(diff(&PathBuf::from(old), &PathBuf::from(new), &accepted));
     }
 
     let quick = args.iter().any(|a| a == "--quick");
@@ -313,9 +326,11 @@ fn jobs_legs(max_jobs: u64) -> Vec<u64> {
     vec![1, max_jobs.max(2)]
 }
 
-/// `--diff`: direction-aware comparison of two committed baselines;
+/// `--diff`: direction-aware comparison of two committed baselines.
+/// Regressions whose `bench/metric` id is listed in `accepted` are
+/// downgraded to a visible `accepted` tag instead of failing the gate;
 /// exit 1 when anything moved >10 % in the bad direction.
-fn diff(old_path: &PathBuf, new_path: &PathBuf) -> i32 {
+fn diff(old_path: &PathBuf, new_path: &PathBuf, accepted: &[&str]) -> i32 {
     let read = |p: &PathBuf| -> Vec<perf::BenchRecord> {
         match std::fs::read_to_string(p) {
             Ok(b) => perf::parse_file(&b),
@@ -336,8 +351,32 @@ fn diff(old_path: &PathBuf, new_path: &PathBuf) -> i32 {
         REGRESSION_THRESHOLD * 100.0,
     );
     let deltas = perf::compare(&old, &new, REGRESSION_THRESHOLD);
-    print!("{}", perf::render_deltas(&deltas));
-    if deltas.iter().any(|d| d.regression) {
+    if deltas.is_empty() {
+        println!("no metric moved by more than the threshold");
+        return 0;
+    }
+    let mut failed = false;
+    for d in &deltas {
+        // the Delta id is "bench/metric jobs=n"; acceptance is per
+        // metric, across both jobs legs
+        let metric_id = d.id.split(' ').next().unwrap_or(&d.id);
+        let tag = if d.regression && accepted.contains(&metric_id) {
+            "accepted"
+        } else if d.regression {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "improved"
+        };
+        println!(
+            "{tag:<10} {id:<44} {old:>14.3} -> {new:>14.3} ({change:+.1}%)",
+            id = d.id,
+            old = d.old,
+            new = d.new,
+            change = d.change * 100.0,
+        );
+    }
+    if failed {
         eprintln!("regression gate failed");
         1
     } else {

@@ -127,21 +127,32 @@ fn main() {
 
     // -- netsim micro-loop: simulator throughput with no probing ------
     // ~25 Mb/s of 1500 B Poisson cross = ~2.1k packets per simulated
-    // second; long enough that the wall-time denominator is tens of
-    // milliseconds, not scheduler noise
+    // second. The run is deterministic (same seed, same packet count
+    // every trial), so only the wall-time denominator is noisy; best-of
+    // over a few trials discards scheduler interference on a shared
+    // runner, approximating the machine's true uncontended throughput.
     let sim_secs = if quick { 20.0 } else { 120.0 };
-    let mut scenario = Scenario::single_hop(&SingleHopConfig {
-        seed: 7,
-        ..SingleHopConfig::default()
-    });
-    let before = prof::snapshot();
-    let started = Instant::now();
-    scenario
-        .sim
-        .run_until(SimTime::from_nanos((sim_secs * 1e9) as u64));
-    let wall = started.elapsed().as_secs_f64();
-    let d = prof::snapshot().delta(&before);
-    drop(scenario);
+    let trials = if quick { 3 } else { 5 };
+    let mut wall = f64::INFINITY;
+    let mut d = prof::snapshot().delta(&prof::snapshot());
+    for _ in 0..trials {
+        let mut scenario = Scenario::single_hop(&SingleHopConfig {
+            seed: 7,
+            ..SingleHopConfig::default()
+        });
+        let before = prof::snapshot();
+        let started = Instant::now();
+        scenario
+            .sim
+            .run_until(SimTime::from_nanos((sim_secs * 1e9) as u64));
+        let trial_wall = started.elapsed().as_secs_f64();
+        let trial_d = prof::snapshot().delta(&before);
+        drop(scenario);
+        if trial_wall < wall {
+            wall = trial_wall;
+            d = trial_d;
+        }
+    }
     if wall > 0.0 {
         push(
             &mut records,
@@ -161,7 +172,7 @@ fn main() {
         );
     }
     eprintln!(
-        "netsim_microloop: {} packets, {} events in {:.3}s",
+        "netsim_microloop: {} packets, {} events in {:.3}s (best of {trials})",
         d.get(Cost::PacketsSimulated),
         d.get(Cost::EventsPopped),
         wall,
